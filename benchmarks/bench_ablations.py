@@ -1,0 +1,38 @@
+"""Ablations of RIFS design choices called out in DESIGN.md.
+
+Covers the injection strategy (moment-matched vs standard distributions) and
+the ensemble weight nu between the Random-Forest and Sparse-Regression
+rankings.
+"""
+
+from repro.evaluation.experiments import (
+    experiment_ablation_ensemble_weight,
+    experiment_ablation_injection,
+)
+
+from conftest import BENCH_SCALE, print_rows, run_once
+
+
+def test_ablation_injection_strategy(benchmark):
+    rows = run_once(
+        benchmark,
+        experiment_ablation_injection,
+        dataset_name="poverty",
+        scale=BENCH_SCALE,
+        rifs_rounds=2,
+    )
+    print_rows("Ablation: RIFS injection strategy", rows)
+    assert {row["injection"] for row in rows} == {"moment_matched", "standard"}
+
+
+def test_ablation_ensemble_weight(benchmark):
+    rows = run_once(
+        benchmark,
+        experiment_ablation_ensemble_weight,
+        dataset_name="poverty",
+        nus=(0.0, 0.5, 1.0),
+        scale=BENCH_SCALE,
+        rifs_rounds=2,
+    )
+    print_rows("Ablation: RIFS ensemble weight nu", rows)
+    assert len(rows) == 3

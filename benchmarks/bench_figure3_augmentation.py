@@ -1,0 +1,25 @@
+"""Figure 3: achieved augmentation (% improvement over the base table) and wall time.
+
+Paper shape to reproduce: ARDA improves every dataset over the base table; the
+naive "all tables" join helps less (and can hurt); the TR rule alone sits
+between the base table and ARDA; AutoML on the base table cannot close the gap
+to augmented runs.
+"""
+
+from repro.evaluation.experiments import experiment_figure3_augmentation
+
+from conftest import BENCH_RIFS, BENCH_SCALE, print_rows, run_once
+
+
+def test_figure3_regression_and_classification(benchmark):
+    rows = run_once(
+        benchmark,
+        experiment_figure3_augmentation,
+        datasets=("poverty", "school_s"),
+        scale=BENCH_SCALE,
+        rifs_options=BENCH_RIFS,
+        include_automl=True,
+        automl_budget=6.0,
+    )
+    print_rows("Figure 3: achieved augmentation (% improvement) and time", rows)
+    assert any(row["method"] == "ARDA" for row in rows)

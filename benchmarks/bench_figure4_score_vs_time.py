@@ -1,0 +1,23 @@
+"""Figure 4: score (% change over the base table) versus feature-selection time.
+
+Paper shape to reproduce: RIFS sits in the top-left region (high improvement,
+moderate time); wrapper methods (forward selection) reach similar scores but at
+an order of magnitude more time; filter methods are fast but weaker.
+"""
+
+from repro.evaluation.experiments import experiment_figure4_score_vs_time
+
+from conftest import BENCH_RIFS, BENCH_SCALE, print_rows, run_once
+
+
+def test_figure4_score_vs_time(benchmark):
+    rows = run_once(
+        benchmark,
+        experiment_figure4_score_vs_time,
+        datasets=("poverty", "school_s"),
+        selectors=("RIFS", "random forest", "sparse regression", "f-test", "mutual info", "relief"),
+        scale=BENCH_SCALE,
+        rifs_options=BENCH_RIFS,
+    )
+    print_rows("Figure 4: % score change vs selection time", rows)
+    assert {row["method"] for row in rows} >= {"RIFS", "f-test"}

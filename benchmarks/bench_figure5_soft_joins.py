@@ -1,0 +1,24 @@
+"""Figure 5: soft-join strategies for time-series keys (Pickup and Taxi).
+
+Paper shape to reproduce: two-way nearest-neighbour and nearest-neighbour soft
+joins beat the plain hard join; time resampling helps the hard join on the
+taxi-style data.
+"""
+
+from repro.evaluation.experiments import experiment_figure5_soft_joins
+
+from conftest import BENCH_RIFS, BENCH_SCALE, print_rows, run_once
+
+
+def test_figure5_soft_joins(benchmark):
+    rows = run_once(
+        benchmark,
+        experiment_figure5_soft_joins,
+        datasets=("pickup", "taxi"),
+        selectors=("RIFS", "random forest", "f-test"),
+        scale=BENCH_SCALE,
+        rifs_options=BENCH_RIFS,
+    )
+    print_rows("Figure 5: holdout error by soft-join strategy", rows)
+    strategies = {row["join_strategy"] for row in rows}
+    assert strategies == {"Hard", "Time-Resampled", "Nearest", "2-way Nearest"}

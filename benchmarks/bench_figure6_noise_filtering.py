@@ -1,0 +1,25 @@
+"""Figure 6: how many features each selector keeps and what fraction of them are real.
+
+Paper shape to reproduce: RIFS keeps a compact set dominated by real features
+(high selectivity); filter methods either keep too much noise or discard real
+features along with it.
+"""
+
+from repro.evaluation.experiments import experiment_figure6_noise_filtering
+
+from conftest import BENCH_RIFS, print_rows, run_once
+
+
+def test_figure6_noise_filtering(benchmark):
+    rows = run_once(
+        benchmark,
+        experiment_figure6_noise_filtering,
+        datasets=("kraken", "digits"),
+        selectors=("RIFS", "random forest", "f-test", "mutual info"),
+        noise_factor=4,
+        rifs_options=BENCH_RIFS,
+        samples_per_class=30,
+    )
+    print_rows("Figure 6: selected feature counts and fraction of real features", rows)
+    rifs_rows = [row for row in rows if row["method"] == "RIFS"]
+    assert all(row["fraction_real"] >= 0.0 for row in rifs_rows)

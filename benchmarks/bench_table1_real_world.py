@@ -1,0 +1,36 @@
+"""Table 1: error / accuracy and selection time of every selector on the real-world datasets.
+
+Paper shape to reproduce: augmentation (any sensible selector) beats the
+baseline row; RIFS is at or near the best score per dataset; wrapper methods
+cost far more time than ranking-based selectors.
+"""
+
+from repro.evaluation.experiments import experiment_table1_real_world
+
+from conftest import BENCH_RIFS, BENCH_SCALE, print_rows, run_once
+
+
+def test_table1_regression_datasets(benchmark):
+    rows = run_once(
+        benchmark,
+        experiment_table1_real_world,
+        datasets=("taxi", "poverty"),
+        selectors=("RIFS", "random forest", "sparse regression", "f-test", "mutual info", "relief", "lasso"),
+        scale=BENCH_SCALE,
+        rifs_options=BENCH_RIFS,
+    )
+    print_rows("Table 1 (regression datasets)", rows)
+    assert any(row["method"] == "baseline" for row in rows)
+
+
+def test_table1_classification_datasets(benchmark):
+    rows = run_once(
+        benchmark,
+        experiment_table1_real_world,
+        datasets=("school_s",),
+        selectors=("RIFS", "random forest", "f-test", "mutual info", "linear svc", "logistic reg"),
+        scale=BENCH_SCALE,
+        rifs_options=BENCH_RIFS,
+    )
+    print_rows("Table 1 (classification datasets)", rows)
+    assert any(row["method"] == "RIFS" for row in rows)

@@ -1,0 +1,24 @@
+"""Table 2: coreset strategies (stratified, sketch) vs uniform sampling on classification data.
+
+Paper shape to reproduce: no strategy dominates — the deltas versus uniform
+sampling are small and both positive and negative depending on dataset and
+selector.
+"""
+
+from repro.evaluation.experiments import experiment_table2_coreset_classification
+
+from conftest import BENCH_RIFS, BENCH_SCALE, print_rows, run_once
+
+
+def test_table2_coreset_classification(benchmark):
+    rows = run_once(
+        benchmark,
+        experiment_table2_coreset_classification,
+        datasets=("school_s", "kraken"),
+        selectors=("RIFS", "random forest", "f-test", "all features"),
+        coreset_size=150,
+        scale=BENCH_SCALE,
+        rifs_options=BENCH_RIFS,
+    )
+    print_rows("Table 2: coreset strategy accuracy change vs uniform (classification)", rows)
+    assert {row["strategy"] for row in rows} == {"stratified", "sketch"}

@@ -1,0 +1,23 @@
+"""Table 3: sketching versus uniform sampling on the regression datasets.
+
+Paper shape to reproduce: sketching is competitive with uniform sampling
+(small % changes either way), with no consistently dominant strategy.
+"""
+
+from repro.evaluation.experiments import experiment_table3_coreset_regression
+
+from conftest import BENCH_RIFS, BENCH_SCALE, print_rows, run_once
+
+
+def test_table3_coreset_regression(benchmark):
+    rows = run_once(
+        benchmark,
+        experiment_table3_coreset_regression,
+        datasets=("taxi", "poverty"),
+        selectors=("RIFS", "sparse regression", "f-test", "mutual info", "all features"),
+        coreset_size=150,
+        scale=BENCH_SCALE,
+        rifs_options=BENCH_RIFS,
+    )
+    print_rows("Table 3: sketching % change vs uniform (regression)", rows)
+    assert all(row["strategy"] == "sketch" for row in rows)

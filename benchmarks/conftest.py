@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced but
+structurally faithful scale (smaller synthetic datasets, fewer RIFS rounds,
+the faster subset of selectors) so the full suite completes offline in
+minutes.  Each benchmark prints the regenerated rows so the run log doubles as
+the reproduction artifact referenced from EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.reporting import format_table
+
+#: reduced-scale settings shared by all benchmarks
+BENCH_SCALE = 0.2
+BENCH_RIFS = {"n_rounds": 2}
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_rows(title: str, rows: list[dict]) -> None:
+    """Print an experiment's rows as an aligned table."""
+    print(f"\n=== {title} ===")
+    print(format_table(rows))
+
+
+@pytest.fixture
+def bench_scale() -> float:
+    """Dataset scale factor used by all benchmarks."""
+    return BENCH_SCALE
+
+
+@pytest.fixture
+def bench_rifs() -> dict:
+    """Reduced RIFS options used by all benchmarks."""
+    return dict(BENCH_RIFS)

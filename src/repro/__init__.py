@@ -1,0 +1,31 @@
+"""repro — a reproduction of ARDA: Automatic Relational Data Augmentation (VLDB 2020).
+
+The public surface mirrors the paper's system decomposition:
+
+* :mod:`repro.core` — the ARDA pipeline (:class:`~repro.core.ARDA`,
+  :class:`~repro.core.ARDAConfig`).
+* :mod:`repro.selection` — RIFS and every baseline feature selector.
+* :mod:`repro.relational` — the columnar table / join / soft-join substrate.
+* :mod:`repro.discovery` — join discovery over a table repository.
+* :mod:`repro.coreset` — uniform / stratified sampling and sketching.
+* :mod:`repro.ml` — the model substrate (forests, linear models, SVMs, ...).
+* :mod:`repro.datasets` — synthetic scenario and micro-benchmark generators.
+* :mod:`repro.evaluation` — the experiment harness behind the benchmarks.
+"""
+
+from repro.core import ARDA, ARDAConfig, AugmentationReport
+from repro.datasets import AugmentationDataset, load_dataset
+from repro.selection import RIFS, make_selector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARDA",
+    "ARDAConfig",
+    "AugmentationReport",
+    "AugmentationDataset",
+    "load_dataset",
+    "RIFS",
+    "make_selector",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""ARDA core: the end-to-end automatic relational data augmentation pipeline."""
+
+from repro.core.config import ARDAConfig
+from repro.core.join_plan import JoinBatch, build_join_plan
+from repro.core.join_execution import execute_join, join_candidates
+from repro.core.arda import ARDA
+from repro.core.results import AugmentationReport, BatchReport
+
+__all__ = [
+    "ARDA",
+    "ARDAConfig",
+    "AugmentationReport",
+    "BatchReport",
+    "JoinBatch",
+    "build_join_plan",
+    "execute_join",
+    "join_candidates",
+]

@@ -1,0 +1,277 @@
+"""The ARDA system: end-to-end automatic relational data augmentation.
+
+Given a base table (with a prediction target), a repository of candidate
+tables and a collection of candidate joins, :class:`ARDA` produces an augmented
+table containing all original columns plus the foreign columns that actually
+improve a predictive model, following the workflow of section 3 of the paper:
+
+1. (optional) discover candidate joins if none are supplied,
+2. (optional) pre-filter candidates with the Tuple-Ratio rule,
+3. build a coreset of base-table rows,
+4. build a join plan (budget batching by default),
+5. for each batch: execute the joins, impute, encode, and run feature
+   selection (RIFS by default) to decide which foreign columns to keep,
+6. materialise the kept columns onto the full base table and train the final
+   estimator to measure the achieved augmentation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.coreset import make_coreset_builder
+from repro.coreset.base import default_coreset_size
+from repro.core.config import ARDAConfig
+from repro.core.join_execution import join_candidates
+from repro.core.join_plan import build_join_plan
+from repro.core.results import AugmentationReport, BatchReport
+from repro.datasets.bundle import AugmentationDataset
+from repro.discovery.candidates import JoinCandidate
+from repro.discovery.discovery import JoinDiscovery
+from repro.discovery.repository import DataRepository
+from repro.ml.automl import AutoMLSearch
+from repro.relational.encoding import to_design_matrix
+from repro.relational.imputation import impute_table
+from repro.relational.table import Table
+from repro.selection import make_selector
+from repro.selection.base import default_estimator, holdout_score, infer_task
+from repro.selection.tuple_ratio import TupleRatioFilter
+
+
+class ARDA:
+    """Automatic relational data augmentation system."""
+
+    def __init__(self, config: ARDAConfig | None = None):
+        self.config = config or ARDAConfig()
+
+    # -- public API -----------------------------------------------------------------
+
+    def augment(self, dataset: AugmentationDataset) -> AugmentationReport:
+        """Run the full pipeline on a prepared :class:`AugmentationDataset`."""
+        return self.augment_tables(
+            base_table=dataset.base_table,
+            repository=dataset.repository,
+            target=dataset.target,
+            candidates=dataset.candidates or None,
+            task=dataset.task,
+            soft_key_columns=dataset.soft_key_columns,
+            dataset_name=dataset.name,
+        )
+
+    def augment_tables(
+        self,
+        base_table: Table,
+        repository: DataRepository,
+        target: str,
+        candidates: list[JoinCandidate] | None = None,
+        task: str | None = None,
+        soft_key_columns: list[str] | None = None,
+        dataset_name: str = "",
+    ) -> AugmentationReport:
+        """Run the full pipeline on raw tables.
+
+        ``candidates`` may be omitted, in which case join discovery is run over
+        the repository first (the paper's normal mode is to consume an external
+        discovery system's output).
+        """
+        config = self.config
+        start = time.perf_counter()
+        if target not in base_table:
+            raise KeyError(f"target column {target!r} not found in base table")
+        if task is None:
+            from repro.relational.encoding import encode_target
+
+            task = infer_task(encode_target(base_table.column(target)))
+
+        if candidates is None:
+            discovery = JoinDiscovery()
+            candidates = discovery.discover(
+                base_table, repository, target=target, soft_key_columns=soft_key_columns
+            )
+        candidates = list(candidates)
+        tables_considered = len(candidates)
+
+        # Tuple-Ratio pre-filter (Table 4)
+        tables_filtered = 0
+        if config.tuple_ratio_tau is not None:
+            tr_filter = TupleRatioFilter(tau=config.tuple_ratio_tau)
+            keep, _decisions = tr_filter.filter_candidates(
+                base_table.num_rows,
+                [
+                    (repository.get(c.foreign_table), c.foreign_columns)
+                    for c in candidates
+                ],
+            )
+            tables_filtered = len(candidates) - len(keep)
+            candidates = [candidates[i] for i in keep]
+
+        # coreset construction
+        coreset = self._build_coreset(base_table, target)
+
+        # join plan
+        budget = config.budget if config.budget is not None else max(coreset.num_rows, 50)
+        batches = build_join_plan(
+            candidates, repository, strategy=config.join_plan, budget=budget
+        )
+
+        estimator = self._make_selection_estimator(task)
+        rng = np.random.default_rng(config.random_state)
+
+        # baseline on the coreset (used for batch-level comparisons only)
+        selector = make_selector(
+            config.selector, random_state=config.random_state, **config.selector_options
+        )
+
+        kept_columns: list[str] = []
+        kept_tables: list[str] = []
+        kept_candidates: list[JoinCandidate] = []
+        batch_reports: list[BatchReport] = []
+        working = coreset
+        join_time = 0.0
+        selection_time = 0.0
+        for batch_index, batch in enumerate(batches):
+            join_start = time.perf_counter()
+            joined, contributed = join_candidates(
+                working,
+                repository,
+                batch.candidates,
+                soft_strategy=config.soft_join,
+                time_resample=config.time_resample,
+                rng=rng,
+            )
+            join_time += time.perf_counter() - join_start
+            foreign_columns = [name for names in contributed.values() for name in names]
+            if not foreign_columns:
+                continue
+
+            X, y, encoding = to_design_matrix(
+                impute_table(joined, seed=config.random_state),
+                target,
+                max_categories=config.max_categories,
+                seed=config.random_state,
+            )
+            foreign_set = set(foreign_columns)
+            selection_start = time.perf_counter()
+            result = selector.select(X, y, task=task, estimator=estimator)
+            selection_time += time.perf_counter() - selection_start
+
+            selected_sources = {encoding.source_columns[i] for i in result.selected}
+            newly_kept = [name for name in foreign_columns if name in selected_sources]
+            batch_score = holdout_score(
+                X[:, result.selected], y, task, estimator=estimator,
+                random_state=config.random_state,
+            ) if len(result.selected) else -np.inf
+            batch_reports.append(
+                BatchReport(
+                    batch_index=batch_index,
+                    table_names=batch.table_names,
+                    columns_considered=len(foreign_columns),
+                    columns_kept=newly_kept,
+                    selection_time=result.elapsed,
+                    holdout_score=float(batch_score),
+                )
+            )
+            if newly_kept:
+                kept_columns.extend(newly_kept)
+                keep_table_names = {
+                    table_name
+                    for table_name, names in contributed.items()
+                    if any(name in newly_kept for name in names)
+                }
+                for candidate in batch.candidates:
+                    if candidate.foreign_table in keep_table_names:
+                        kept_tables.append(candidate.foreign_table)
+                        kept_candidates.append(candidate)
+                # carry the kept columns forward so later batches can find
+                # co-predictors that span tables
+                carry = [c for c in joined.column_names if c not in foreign_set or c in newly_kept]
+                working = joined.select(carry)
+
+        # final materialisation on the full base table
+        join_start = time.perf_counter()
+        augmented_full, contributed_full = join_candidates(
+            base_table,
+            repository,
+            kept_candidates,
+            soft_strategy=config.soft_join,
+            time_resample=config.time_resample,
+            rng=np.random.default_rng(config.random_state),
+        )
+        join_time += time.perf_counter() - join_start
+        keep_final = [
+            name
+            for name in augmented_full.column_names
+            if name in set(base_table.column_names) or name in set(kept_columns)
+        ]
+        augmented_full = augmented_full.select(keep_final)
+
+        base_score = self._final_score(base_table, target, task)
+        augmented_score = self._final_score(augmented_full, target, task)
+
+        return AugmentationReport(
+            dataset_name=dataset_name or base_table.name,
+            task=task,
+            base_score=base_score,
+            augmented_score=augmented_score,
+            augmented_table=augmented_full,
+            kept_columns=kept_columns,
+            kept_tables=sorted(set(kept_tables)),
+            batches=batch_reports,
+            tables_considered=tables_considered,
+            tables_filtered_out=tables_filtered,
+            total_time=time.perf_counter() - start,
+            selection_time=selection_time,
+            join_time=join_time,
+        )
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _build_coreset(self, base_table: Table, target: str) -> Table:
+        config = self.config
+        if config.coreset_strategy == "none":
+            return base_table
+        size = config.coreset_size or default_coreset_size(base_table.num_rows)
+        if size >= base_table.num_rows:
+            return base_table
+        builder = make_coreset_builder(
+            config.coreset_strategy, random_state=config.random_state
+        )
+        return builder.reduce_table(base_table, size, target=target)
+
+    def _make_selection_estimator(self, task: str):
+        """The (cheap) estimator used inside feature-selection search loops."""
+        options = dict(self.config.estimator_options)
+        n_estimators = options.get("n_estimators", 20)
+        return default_estimator(
+            task, random_state=self.config.random_state, n_estimators=n_estimators
+        )
+
+    def _make_final_estimator(self, task: str):
+        """The final estimator used for the reported scores."""
+        if self.config.estimator == "automl":
+            automl_task = "classification" if task == "classification" else "regression"
+            options = {"time_budget": 15.0, "max_trials": 8}
+            options.update(self.config.estimator_options)
+            return AutoMLSearch(
+                task=automl_task, random_state=self.config.random_state, **options
+            )
+        return self._make_selection_estimator(task)
+
+    def _final_score(self, table: Table, target: str, task: str) -> float:
+        """Holdout score of the final estimator on a materialised table."""
+        X, y, _encoding = to_design_matrix(
+            impute_table(table, seed=self.config.random_state),
+            target,
+            max_categories=self.config.max_categories,
+            seed=self.config.random_state,
+        )
+        return holdout_score(
+            X,
+            y,
+            task,
+            estimator=self._make_final_estimator(task),
+            test_size=self.config.test_size,
+            random_state=self.config.random_state,
+        )

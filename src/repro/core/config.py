@@ -1,0 +1,74 @@
+"""Configuration of the ARDA pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ARDAConfig:
+    """All knobs of the augmentation pipeline, with the paper's defaults.
+
+    Attributes
+    ----------
+    coreset_strategy:
+        ``"uniform"`` (default), ``"stratified"`` or ``"none"``; row sampling
+        applied to the base table before joining.
+    coreset_size:
+        Target number of coreset rows; ``None`` picks a heuristic size.
+    join_plan:
+        ``"budget"`` (default), ``"table"`` or ``"full"`` table grouping.
+    budget:
+        Maximum number of foreign feature columns considered per batch in the
+        budget join plan; ``None`` defaults to the coreset size.
+    soft_join:
+        ``"two_way_nearest"`` (default), ``"nearest"`` or ``"hard"`` strategy
+        for soft keys.
+    time_resample:
+        Whether to aggregate finer-grained time keys to the base granularity
+        before a soft/hard time join.
+    selector:
+        Feature-selection method name (paper-table label); ``"RIFS"`` default.
+    selector_options:
+        Extra keyword arguments forwarded to the selector factory.
+    tuple_ratio_tau:
+        If set, candidate tables whose tuple ratio exceeds this threshold are
+        dropped before joining (the TR-rule pre-filter of Table 4).
+    estimator:
+        ``"random_forest"`` (default) or ``"automl"`` final estimator.
+    estimator_options:
+        Extra keyword arguments for the final estimator (e.g. ``n_estimators``).
+    max_categories:
+        One-hot encoding cap per categorical column.
+    test_size / random_state:
+        Holdout fraction and seed used for evaluation splits throughout.
+    """
+
+    coreset_strategy: str = "uniform"
+    coreset_size: int | None = None
+    join_plan: str = "budget"
+    budget: int | None = None
+    soft_join: str = "two_way_nearest"
+    time_resample: bool = True
+    selector: str = "RIFS"
+    selector_options: dict = field(default_factory=dict)
+    tuple_ratio_tau: float | None = None
+    estimator: str = "random_forest"
+    estimator_options: dict = field(default_factory=dict)
+    max_categories: int = 12
+    test_size: float = 0.25
+    random_state: int = 0
+
+    def __post_init__(self):
+        valid_plans = ("budget", "table", "full")
+        if self.join_plan not in valid_plans:
+            raise ValueError(f"join_plan must be one of {valid_plans}")
+        valid_soft = ("two_way_nearest", "nearest", "hard")
+        if self.soft_join not in valid_soft:
+            raise ValueError(f"soft_join must be one of {valid_soft}")
+        valid_coreset = ("uniform", "stratified", "none")
+        if self.coreset_strategy not in valid_coreset:
+            raise ValueError(f"coreset_strategy must be one of {valid_coreset}")
+        valid_estimators = ("random_forest", "automl")
+        if self.estimator not in valid_estimators:
+            raise ValueError(f"estimator must be one of {valid_estimators}")

@@ -1,0 +1,123 @@
+"""Join execution: bring one candidate table's columns onto the base table.
+
+Execution handles everything section 4 of the paper describes:
+
+* hard keys via hash LEFT joins (pre-aggregating the foreign table when the
+  join would otherwise be one-to-many / many-to-many),
+* soft keys via nearest-neighbour or two-way nearest-neighbour joins,
+* time-granularity mismatches via resampling of the finer-grained table,
+* column-name collisions via per-table prefixes, and
+* missing values produced by unmatched rows via the imputation layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.discovery.candidates import JoinCandidate
+from repro.discovery.repository import DataRepository
+from repro.relational.join import left_join
+from repro.relational.resample import align_time_granularity
+from repro.relational.schema import DATETIME
+from repro.relational.soft_join import nearest_join, two_way_nearest_join
+from repro.relational.table import Table
+
+
+def execute_join(
+    base: Table,
+    foreign: Table,
+    candidate: JoinCandidate,
+    soft_strategy: str = "two_way_nearest",
+    time_resample: bool = True,
+    prefix_columns: bool = True,
+    rng: np.random.Generator | None = None,
+) -> Table:
+    """LEFT-join one candidate's columns onto ``base`` and return the result.
+
+    All base-table rows are preserved.  Foreign columns are prefixed with the
+    foreign table's name so features can be traced back to their source table.
+    """
+    if prefix_columns:
+        foreign = foreign.prefix_columns(
+            f"{foreign.name}.", exclude=candidate.foreign_columns
+        )
+    if candidate.is_soft:
+        return _execute_soft_join(
+            base, foreign, candidate, soft_strategy, time_resample, rng
+        )
+    return left_join(base, foreign, on=candidate.key_pairs())
+
+
+def _execute_soft_join(
+    base: Table,
+    foreign: Table,
+    candidate: JoinCandidate,
+    soft_strategy: str,
+    time_resample: bool,
+    rng: np.random.Generator | None,
+) -> Table:
+    """Soft-join on the (single) soft key of a candidate."""
+    soft_keys = [key for key in candidate.keys if key.soft]
+    hard_keys = [key for key in candidate.keys if not key.soft]
+    if len(soft_keys) != 1 or hard_keys:
+        # mixed composite keys: fall back to a hard join on all keys, after
+        # aligning time granularity on the soft components
+        working = foreign
+        if time_resample:
+            for key in soft_keys:
+                working = align_time_granularity(
+                    base, working, key.base_column, key.foreign_column
+                )
+        return left_join(base, working, on=candidate.key_pairs())
+
+    key = soft_keys[0]
+    working = foreign
+    is_time_key = (
+        base.column(key.base_column).ctype is DATETIME
+        or foreign.column(key.foreign_column).ctype is DATETIME
+    )
+    if time_resample and is_time_key:
+        working = align_time_granularity(
+            base, working, key.base_column, key.foreign_column
+        )
+    if soft_strategy == "hard":
+        return left_join(base, working, on=[(key.base_column, key.foreign_column)])
+    if soft_strategy == "nearest":
+        return nearest_join(base, working, key.base_column, key.foreign_column)
+    if soft_strategy == "two_way_nearest":
+        return two_way_nearest_join(
+            base, working, key.base_column, key.foreign_column, rng=rng
+        )
+    raise ValueError(f"unknown soft join strategy {soft_strategy!r}")
+
+
+def join_candidates(
+    base: Table,
+    repository: DataRepository,
+    candidates: list[JoinCandidate],
+    soft_strategy: str = "two_way_nearest",
+    time_resample: bool = True,
+    rng: np.random.Generator | None = None,
+) -> tuple[Table, dict[str, list[str]]]:
+    """Join every candidate in a batch onto ``base``.
+
+    Returns the joined table and a mapping from foreign table name to the list
+    of column names it contributed, which the pipeline uses to trace selected
+    features back to tables.
+    """
+    working = base
+    contributed: dict[str, list[str]] = {}
+    for candidate in candidates:
+        foreign = repository.get(candidate.foreign_table)
+        before = set(working.column_names)
+        working = execute_join(
+            working,
+            foreign,
+            candidate,
+            soft_strategy=soft_strategy,
+            time_resample=time_resample,
+            rng=rng,
+        )
+        added = [name for name in working.column_names if name not in before]
+        contributed[candidate.foreign_table] = added
+    return working, contributed

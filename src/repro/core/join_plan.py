@@ -1,0 +1,88 @@
+"""Join planning: grouping candidate tables into batches (paper section 4).
+
+Three grouping strategies:
+
+* **table** — one candidate table per batch.  Cheapest to evaluate per batch
+  but cannot discover co-predicting features split across tables.
+* **budget** (default) — as many tables per batch as fit within a feature
+  budget (by default the coreset size).  A single table wider than the budget
+  still gets its own batch.
+* **full** — every candidate in one batch (full materialisation).
+
+Candidates are processed in descending discovery-score order, so the most
+promising joins are considered first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.discovery.candidates import JoinCandidate
+from repro.discovery.repository import DataRepository
+
+
+@dataclass
+class JoinBatch:
+    """One group of candidate joins evaluated together by feature selection."""
+
+    candidates: list[JoinCandidate] = field(default_factory=list)
+    estimated_features: int = 0
+
+    @property
+    def table_names(self) -> list[str]:
+        """Names of the foreign tables in this batch."""
+        return [candidate.foreign_table for candidate in self.candidates]
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+
+def estimate_feature_count(candidate: JoinCandidate, repository: DataRepository) -> int:
+    """Number of feature columns a candidate join would contribute.
+
+    Every foreign column except the join keys becomes a feature column (one-hot
+    expansion is ignored here; the budget is a coarse control, not an exact
+    accounting).
+    """
+    table = repository.get(candidate.foreign_table)
+    key_columns = set(candidate.foreign_columns)
+    return max(0, table.num_columns - len(key_columns))
+
+
+def build_join_plan(
+    candidates: list[JoinCandidate],
+    repository: DataRepository,
+    strategy: str = "budget",
+    budget: int = 200,
+) -> list[JoinBatch]:
+    """Group candidates into ordered batches according to the strategy."""
+    ordered = sorted(candidates, key=lambda c: -c.score)
+    if strategy == "table":
+        return [
+            JoinBatch([candidate], estimate_feature_count(candidate, repository))
+            for candidate in ordered
+        ]
+    if strategy == "full":
+        total = sum(estimate_feature_count(c, repository) for c in ordered)
+        return [JoinBatch(list(ordered), total)] if ordered else []
+    if strategy != "budget":
+        raise ValueError(f"unknown join plan strategy {strategy!r}")
+
+    batches: list[JoinBatch] = []
+    current = JoinBatch()
+    for candidate in ordered:
+        width = estimate_feature_count(candidate, repository)
+        fits = current.estimated_features + width <= budget
+        if current.candidates and not fits:
+            batches.append(current)
+            current = JoinBatch()
+        current.candidates.append(candidate)
+        current.estimated_features += width
+        # a single table wider than the budget ships alone ("an exception to
+        # this rule happens when a single table has more features than rows")
+        if current.estimated_features >= budget:
+            batches.append(current)
+            current = JoinBatch()
+    if current.candidates:
+        batches.append(current)
+    return batches

@@ -1,0 +1,70 @@
+"""Result objects returned by the ARDA pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.table import Table
+
+
+@dataclass
+class BatchReport:
+    """What happened when one join-plan batch was evaluated."""
+
+    batch_index: int
+    table_names: list[str]
+    columns_considered: int
+    columns_kept: list[str]
+    selection_time: float
+    holdout_score: float
+
+
+@dataclass
+class AugmentationReport:
+    """The full outcome of one ARDA run.
+
+    Scores are "higher is better" (accuracy for classification, R^2 for
+    regression) measured on a holdout split of the *full* base table with the
+    final estimator; error metrics for regression reporting are derived by the
+    evaluation harness.
+    """
+
+    dataset_name: str
+    task: str
+    base_score: float
+    augmented_score: float
+    augmented_table: Table
+    kept_columns: list[str] = field(default_factory=list)
+    kept_tables: list[str] = field(default_factory=list)
+    batches: list[BatchReport] = field(default_factory=list)
+    tables_considered: int = 0
+    tables_filtered_out: int = 0
+    total_time: float = 0.0
+    selection_time: float = 0.0
+    join_time: float = 0.0
+
+    @property
+    def improvement(self) -> float:
+        """Absolute score improvement of augmentation over the base table."""
+        return self.augmented_score - self.base_score
+
+    @property
+    def relative_improvement(self) -> float:
+        """Score improvement relative to the base-table score (paper's % metric)."""
+        if self.base_score == 0:
+            return 0.0
+        return (self.augmented_score - self.base_score) / abs(self.base_score)
+
+    def summary(self) -> dict:
+        """Compact dictionary used by reports and tests."""
+        return {
+            "dataset": self.dataset_name,
+            "task": self.task,
+            "base_score": round(self.base_score, 4),
+            "augmented_score": round(self.augmented_score, 4),
+            "improvement": round(self.improvement, 4),
+            "kept_columns": len(self.kept_columns),
+            "kept_tables": len(self.kept_tables),
+            "tables_considered": self.tables_considered,
+            "total_time_s": round(self.total_time, 2),
+        }

@@ -1,0 +1,28 @@
+"""Coreset construction: uniform sampling, stratified sampling and sketching."""
+
+from repro.coreset.base import CoresetBuilder, default_coreset_size
+from repro.coreset.uniform import UniformSampler
+from repro.coreset.stratified import StratifiedSampler
+from repro.coreset.sketch import OSNAPSketch, sketch_matrix
+
+__all__ = [
+    "CoresetBuilder",
+    "default_coreset_size",
+    "UniformSampler",
+    "StratifiedSampler",
+    "OSNAPSketch",
+    "sketch_matrix",
+    "make_coreset_builder",
+]
+
+
+def make_coreset_builder(name: str, random_state: int = 0) -> CoresetBuilder:
+    """Build a coreset strategy by name: 'uniform', 'stratified' or 'sketch'."""
+    key = name.strip().lower()
+    if key == "uniform":
+        return UniformSampler(random_state=random_state)
+    if key == "stratified":
+        return StratifiedSampler(random_state=random_state)
+    if key == "sketch":
+        return OSNAPSketch(random_state=random_state)
+    raise ValueError(f"unknown coreset strategy {name!r}")

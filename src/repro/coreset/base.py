@@ -1,0 +1,56 @@
+"""Coreset interfaces.
+
+Coresets reduce the number of base-table rows before the (expensive) joining,
+feature selection and model-training stages (paper section 3.1).  Row-sampling
+strategies (uniform, stratified) can be applied to the base table *before*
+joins because they keep real rows; sketching takes linear combinations of rows
+so it is only applied to the encoded design matrix *after* joins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational.table import Table
+
+
+def default_coreset_size(n_rows: int, cap: int = 2000, minimum: int = 200) -> int:
+    """Heuristic coreset size: keep everything for small tables, cap large ones."""
+    if n_rows <= minimum:
+        return n_rows
+    return int(min(n_rows, max(minimum, min(cap, int(np.sqrt(n_rows) * 20)))))
+
+
+class CoresetBuilder:
+    """Base class for coreset strategies."""
+
+    name = "coreset"
+    #: whether the strategy keeps real rows (and can therefore run before joins)
+    row_preserving = True
+
+    def sample_indices(
+        self, n_rows: int, size: int, y: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Row indices to keep (only meaningful for row-preserving strategies)."""
+        raise NotImplementedError
+
+    def reduce_table(self, table: Table, size: int, target: str | None = None) -> Table:
+        """Apply the strategy to a table, using ``target`` for stratification."""
+        if not self.row_preserving:
+            raise RuntimeError(
+                f"{self.name} does not preserve rows and cannot reduce a table before joins"
+            )
+        if size >= table.num_rows:
+            return table
+        y = table.column(target).values if target and target in table else None
+        indices = self.sample_indices(table.num_rows, size, y=y)
+        return table.take(indices)
+
+    def reduce_matrix(
+        self, X: np.ndarray, y: np.ndarray, size: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply the strategy to an encoded design matrix and target."""
+        if size >= X.shape[0]:
+            return X, y
+        indices = self.sample_indices(X.shape[0], size, y=y)
+        return X[indices], y[indices]

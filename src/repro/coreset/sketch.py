@@ -1,0 +1,89 @@
+"""Matrix sketching (OSNAP / count-sketch subspace embedding).
+
+Sketching compresses the rows of a numeric matrix by taking sparse random
+linear combinations of them (Definition 2 in the paper): each original row is
+assigned to one sketch row with a random +/-1 sign, repeated ``repetitions``
+times and rescaled.  Because rows are mixed, sketching cannot run before joins
+— ARDA applies it to the encoded design matrix after the join, per label group
+for classification (analogous to stratified sampling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coreset.base import CoresetBuilder
+
+
+def sketch_matrix(
+    X: np.ndarray,
+    n_sketch_rows: int,
+    rng: np.random.Generator,
+    repetitions: int | None = None,
+) -> np.ndarray:
+    """Apply an OSNAP-style count sketch to the rows of ``X``.
+
+    Each repetition hashes every input row to one of ``n_sketch_rows`` buckets
+    with a random sign; repetitions are averaged with a 1/sqrt(s) scaling so
+    column norms are approximately preserved.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    n = X.shape[0]
+    if n_sketch_rows >= n:
+        return X.copy()
+    if repetitions is None:
+        repetitions = max(1, int(np.ceil(np.log(max(n, 2)))))
+    sketch = np.zeros((n_sketch_rows, X.shape[1]), dtype=np.float64)
+    scale = 1.0 / np.sqrt(repetitions)
+    for _ in range(repetitions):
+        buckets = rng.integers(0, n_sketch_rows, size=n)
+        signs = rng.choice([-1.0, 1.0], size=n)
+        signed = X * signs[:, None]
+        np.add.at(sketch, buckets, signed * scale)
+    return sketch
+
+
+class OSNAPSketch(CoresetBuilder):
+    """Sketching coreset: sparse random linear combinations of rows."""
+
+    name = "sketch"
+    row_preserving = False
+
+    def __init__(self, random_state: int = 0, repetitions: int | None = None):
+        self.random_state = random_state
+        self.repetitions = repetitions
+
+    def sample_indices(self, n_rows: int, size: int, y=None) -> np.ndarray:
+        """Sketching has no notion of selected row indices."""
+        raise RuntimeError("sketching does not select rows; use reduce_matrix")
+
+    def reduce_matrix(self, X, y, size) -> tuple[np.ndarray, np.ndarray]:
+        """Sketch the design matrix per label group (classification) or globally.
+
+        For classification targets each class is sketched independently and the
+        sketched rows keep that class's label (mirroring stratified sampling);
+        for regression the target column is sketched together with the
+        features, which preserves the least-squares objective up to the
+        subspace-embedding distortion.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        n = X.shape[0]
+        if size >= n:
+            return X, y
+        rng = np.random.default_rng(self.random_state)
+        distinct = np.unique(y)
+        is_classification = len(distinct) <= 20 and np.allclose(distinct, np.round(distinct))
+        if is_classification:
+            sketched_X: list[np.ndarray] = []
+            sketched_y: list[np.ndarray] = []
+            for cls in distinct:
+                members = np.nonzero(y == cls)[0]
+                share = max(2, int(round(size * len(members) / n)))
+                block = sketch_matrix(X[members], share, rng, self.repetitions)
+                sketched_X.append(block)
+                sketched_y.append(np.full(block.shape[0], cls))
+            return np.vstack(sketched_X), np.concatenate(sketched_y)
+        joint = np.column_stack([X, y])
+        sketched = sketch_matrix(joint, size, rng, self.repetitions)
+        return sketched[:, :-1], sketched[:, -1]

@@ -1,0 +1,60 @@
+"""Stratified row sampling.
+
+For classification targets the strata are the class labels, so every class
+keeps (approximately) its proportional share and no label is overlooked.  For
+regression targets (or when no target is available) the strata are target
+quantile bins, which keeps the target distribution balanced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coreset.base import CoresetBuilder
+
+
+class StratifiedSampler(CoresetBuilder):
+    """Sample proportionally within target-derived strata."""
+
+    name = "stratified"
+    row_preserving = True
+
+    def __init__(self, random_state: int = 0, n_bins: int = 10, max_classes: int = 20):
+        self.random_state = random_state
+        self.n_bins = n_bins
+        self.max_classes = max_classes
+
+    def _strata(self, y: np.ndarray) -> np.ndarray:
+        """Assign each row to a stratum (class label or target quantile bin)."""
+        y = np.asarray(y, dtype=np.float64).ravel()
+        distinct = np.unique(y[~np.isnan(y)])
+        if len(distinct) <= self.max_classes:
+            return np.searchsorted(distinct, y)
+        quantiles = np.quantile(y, np.linspace(0, 1, self.n_bins + 1)[1:-1])
+        return np.searchsorted(quantiles, y, side="right")
+
+    def sample_indices(self, n_rows: int, size: int, y=None) -> np.ndarray:
+        """Pick ``size`` rows, allocating the budget proportionally per stratum."""
+        rng = np.random.default_rng(self.random_state)
+        if size >= n_rows:
+            return np.arange(n_rows)
+        if y is None:
+            return np.sort(rng.choice(n_rows, size=size, replace=False))
+        strata = self._strata(np.asarray(y))
+        chosen: list[np.ndarray] = []
+        labels, counts = np.unique(strata, return_counts=True)
+        allocations = np.maximum(1, np.floor(counts / n_rows * size)).astype(int)
+        # trim or grow allocations so they sum to the requested size
+        while allocations.sum() > size:
+            allocations[np.argmax(allocations)] -= 1
+        while allocations.sum() < size:
+            deficit = counts - allocations
+            candidates = np.nonzero(deficit > 0)[0]
+            if len(candidates) == 0:
+                break
+            allocations[candidates[np.argmax(deficit[candidates])]] += 1
+        for label, allocation in zip(labels, allocations):
+            members = np.nonzero(strata == label)[0]
+            take = min(allocation, len(members))
+            chosen.append(rng.choice(members, size=take, replace=False))
+        return np.sort(np.concatenate(chosen))

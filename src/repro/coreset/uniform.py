@@ -1,0 +1,24 @@
+"""Uniform row sampling (the default coreset strategy)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coreset.base import CoresetBuilder
+
+
+class UniformSampler(CoresetBuilder):
+    """Sample rows uniformly at random without replacement."""
+
+    name = "uniform"
+    row_preserving = True
+
+    def __init__(self, random_state: int = 0):
+        self.random_state = random_state
+
+    def sample_indices(self, n_rows: int, size: int, y=None) -> np.ndarray:
+        """Pick ``size`` distinct row indices uniformly at random."""
+        if size >= n_rows:
+            return np.arange(n_rows)
+        rng = np.random.default_rng(self.random_state)
+        return np.sort(rng.choice(n_rows, size=size, replace=False))

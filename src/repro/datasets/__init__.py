@@ -1,0 +1,42 @@
+"""Synthetic dataset and repository generators.
+
+The paper evaluates on open datasets (NYC taxi / pickup / poverty, DARPA D3M
+school tables, Kraken supercomputer telemetry, sklearn digits) joined against
+tables found by NYU Auctus.  None of those are available offline, so this
+package generates seeded synthetic analogues with the same *structure*: a base
+table whose target depends partly on its own columns and partly on signal
+hidden in a handful of joinable repository tables, surrounded by many noisy
+tables and columns.  The generators control exactly where the signal lives,
+which also makes the micro-benchmarks' ground truth (which features are real)
+available.
+"""
+
+from repro.datasets.bundle import AugmentationDataset
+from repro.datasets.micro import (
+    load_digits,
+    load_kraken,
+    make_micro_benchmark,
+)
+from repro.datasets.scenarios import (
+    DATASET_NAMES,
+    load_dataset,
+    make_pickup,
+    make_poverty,
+    make_school,
+    make_taxi,
+)
+from repro.datasets.synthetic import RelationalDatasetBuilder
+
+__all__ = [
+    "AugmentationDataset",
+    "RelationalDatasetBuilder",
+    "DATASET_NAMES",
+    "load_dataset",
+    "make_taxi",
+    "make_pickup",
+    "make_poverty",
+    "make_school",
+    "load_kraken",
+    "load_digits",
+    "make_micro_benchmark",
+]

@@ -1,0 +1,47 @@
+"""The bundle handed to ARDA: base table, repository, target, task and hints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.discovery.candidates import JoinCandidate
+from repro.discovery.repository import DataRepository
+from repro.relational.table import Table
+
+
+@dataclass
+class AugmentationDataset:
+    """Everything needed to run an augmentation experiment on one dataset.
+
+    ``candidates`` may be pre-computed (the generators know the true join
+    structure, mimicking a discovery system's output); if empty, ARDA runs its
+    own :class:`~repro.discovery.discovery.JoinDiscovery` over the repository.
+    ``signal_tables`` records which repository tables actually carry signal —
+    ground truth used only by tests and the noise-filtering analysis, never by
+    ARDA itself.
+    """
+
+    name: str
+    base_table: Table
+    repository: DataRepository
+    target: str
+    task: str
+    candidates: list[JoinCandidate] = field(default_factory=list)
+    soft_key_columns: list[str] = field(default_factory=list)
+    signal_tables: list[str] = field(default_factory=list)
+
+    @property
+    def num_candidate_tables(self) -> int:
+        """Number of repository tables available for augmentation."""
+        return len(self.repository)
+
+    def summary(self) -> dict:
+        """Compact description used in reports."""
+        return {
+            "name": self.name,
+            "task": self.task,
+            "rows": self.base_table.num_rows,
+            "base_columns": self.base_table.num_columns,
+            "candidate_tables": self.num_candidate_tables,
+            "signal_tables": len(self.signal_tables),
+        }

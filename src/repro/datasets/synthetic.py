@@ -1,0 +1,278 @@
+"""Generic generator for relational augmentation datasets with planted signal.
+
+The builder creates:
+
+* a **base table** with an entity key, optionally a day-granularity timestamp
+  (a soft key), a handful of base features, and a target column;
+* **signal tables** keyed by the entity key or the timestamp, carrying the
+  hidden columns that (together with the base features) generate the target,
+  mixed with a few irrelevant columns;
+* **noise tables** with matching keys but purely random contents.
+
+The target is a noisy non-linear function of the base features and the hidden
+signals, so augmentation genuinely improves a model and the generated
+repository reproduces the structural challenge the paper describes: most
+candidate tables and most columns are useless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.bundle import AugmentationDataset
+from repro.discovery.candidates import JoinCandidate, KeyPair
+from repro.discovery.repository import DataRepository
+from repro.relational.column import Column
+from repro.relational.schema import CATEGORICAL, DATETIME, NUMERIC
+from repro.relational.table import Table
+
+DAY_SECONDS = 86_400.0
+HOUR_SECONDS = 3_600.0
+
+
+@dataclass
+class SignalTableSpec:
+    """Specification of one signal-bearing foreign table."""
+
+    name: str
+    n_signal_columns: int = 2
+    n_extra_columns: int = 3
+    key: str = "entity"  # "entity" or "time"
+    weight: float = 1.0
+    fine_grained_time: bool = False  # hour-level rows for a day-level base key
+
+
+@dataclass
+class NoiseTableSpec:
+    """Specification of one pure-noise foreign table."""
+
+    name: str
+    n_columns: int = 5
+    key: str = "entity"
+    key_overlap: float = 0.9  # fraction of base keys present in the table
+
+
+class RelationalDatasetBuilder:
+    """Build an :class:`AugmentationDataset` with controlled signal placement."""
+
+    def __init__(
+        self,
+        name: str,
+        task: str = "regression",
+        n_rows: int = 800,
+        n_entities: int = 200,
+        n_base_features: int = 4,
+        n_classes: int = 2,
+        with_time_key: bool = False,
+        n_days: int = 120,
+        noise_level: float = 0.3,
+        base_signal_weight: float = 1.0,
+        n_categorical_base: int = 1,
+        seed: int = 0,
+    ):
+        self.name = name
+        self.task = task
+        self.n_rows = n_rows
+        self.n_entities = n_entities
+        self.n_base_features = n_base_features
+        self.n_classes = n_classes
+        self.with_time_key = with_time_key
+        self.n_days = n_days
+        self.noise_level = noise_level
+        self.base_signal_weight = base_signal_weight
+        self.n_categorical_base = n_categorical_base
+        self.seed = seed
+        self.signal_specs: list[SignalTableSpec] = []
+        self.noise_specs: list[NoiseTableSpec] = []
+
+    # -- specification -----------------------------------------------------------
+
+    def add_signal_table(self, spec: SignalTableSpec) -> "RelationalDatasetBuilder":
+        """Register a signal-bearing foreign table."""
+        self.signal_specs.append(spec)
+        return self
+
+    def add_noise_table(self, spec: NoiseTableSpec) -> "RelationalDatasetBuilder":
+        """Register a pure-noise foreign table."""
+        self.noise_specs.append(spec)
+        return self
+
+    def add_noise_tables(self, count: int, prefix: str = "noise", **kwargs) -> "RelationalDatasetBuilder":
+        """Register ``count`` noise tables with auto-generated names."""
+        for i in range(count):
+            params = dict(kwargs)
+            params.setdefault("key", "entity" if i % 2 == 0 or not self.with_time_key else "time")
+            self.noise_specs.append(NoiseTableSpec(name=f"{prefix}_{i:03d}", **params))
+        return self
+
+    # -- generation ----------------------------------------------------------------
+
+    def build(self) -> AugmentationDataset:
+        """Generate the base table, all foreign tables and the candidate list."""
+        rng = np.random.default_rng(self.seed)
+        entity_ids = rng.integers(0, self.n_entities, size=self.n_rows).astype(np.float64)
+        day_index = rng.integers(0, self.n_days, size=self.n_rows)
+        timestamps = day_index * DAY_SECONDS
+
+        base_features = rng.normal(size=(self.n_rows, self.n_base_features))
+        base_weights = rng.normal(scale=self.base_signal_weight, size=self.n_base_features)
+        score = base_features @ base_weights
+
+        # hidden per-entity and per-day signal values for each signal table
+        repository = DataRepository()
+        candidates: list[JoinCandidate] = []
+        signal_names: list[str] = []
+        for spec in self.signal_specs:
+            table, contribution, candidate = self._build_signal_table(
+                spec, rng, entity_ids, day_index
+            )
+            repository.add(table)
+            candidates.append(candidate)
+            signal_names.append(spec.name)
+            score = score + contribution
+
+        for spec in self.noise_specs:
+            table, candidate = self._build_noise_table(spec, rng, entity_ids, day_index)
+            repository.add(table)
+            candidates.append(candidate)
+
+        score = score + self.noise_level * rng.normal(size=self.n_rows)
+        target = self._score_to_target(score, rng)
+
+        columns = [Column.numeric("entity_id", entity_ids)]
+        if self.with_time_key:
+            columns.append(Column.datetime("timestamp", timestamps))
+        for j in range(self.n_base_features):
+            columns.append(Column.numeric(f"base_feat_{j}", base_features[:, j]))
+        for j in range(self.n_categorical_base):
+            categories = np.array(["north", "south", "east", "west"], dtype=object)
+            columns.append(
+                Column.categorical(
+                    f"base_cat_{j}", categories[rng.integers(0, 4, size=self.n_rows)]
+                )
+            )
+        columns.append(self._target_column(target))
+        base_table = Table(columns, name=f"{self.name}_base")
+
+        soft_keys = ["timestamp"] if self.with_time_key else []
+        return AugmentationDataset(
+            name=self.name,
+            base_table=base_table,
+            repository=repository,
+            target="target",
+            task=self.task,
+            candidates=candidates,
+            soft_key_columns=soft_keys,
+            signal_tables=signal_names,
+        )
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _score_to_target(self, score: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.task == "regression":
+            return score
+        if self.n_classes == 2:
+            return (score > np.median(score)).astype(np.float64)
+        quantiles = np.quantile(score, np.linspace(0, 1, self.n_classes + 1)[1:-1])
+        return np.searchsorted(quantiles, score).astype(np.float64)
+
+    def _target_column(self, target: np.ndarray) -> Column:
+        return Column.numeric("target", target)
+
+    def _build_signal_table(
+        self,
+        spec: SignalTableSpec,
+        rng: np.random.Generator,
+        entity_ids: np.ndarray,
+        day_index: np.ndarray,
+    ) -> tuple[Table, np.ndarray, JoinCandidate]:
+        """Create one signal table and return its contribution to the target."""
+        if spec.key == "entity":
+            domain = np.arange(self.n_entities, dtype=np.float64)
+            key_name, base_key, soft = "entity_id", "entity_id", False
+            lookup = entity_ids.astype(np.int64)
+        else:
+            domain = np.arange(self.n_days, dtype=np.float64) * DAY_SECONDS
+            key_name, base_key, soft = "timestamp", "timestamp", True
+            lookup = day_index
+
+        signal_values = rng.normal(size=(len(domain), spec.n_signal_columns))
+        weights = rng.normal(scale=spec.weight, size=spec.n_signal_columns)
+        contribution = signal_values[lookup] @ weights
+
+        columns: list[Column] = []
+        if spec.key == "time" and spec.fine_grained_time:
+            # hour-granularity rows whose per-day mean equals the planted signal
+            hours = np.arange(len(domain) * 24, dtype=np.float64)
+            key_values = (hours // 24) * DAY_SECONDS + (hours % 24) * HOUR_SECONDS
+            expanded = np.repeat(signal_values, 24, axis=0)
+            expanded = expanded + 0.2 * rng.normal(size=expanded.shape)
+            expanded -= expanded.reshape(len(domain), 24, -1).mean(axis=1).repeat(24, axis=0) - np.repeat(
+                signal_values, 24, axis=0
+            )
+            columns.append(Column.datetime(key_name, key_values))
+            value_matrix = expanded
+        else:
+            if spec.key == "time":
+                columns.append(Column.datetime(key_name, domain))
+            else:
+                columns.append(Column.numeric(key_name, domain))
+            value_matrix = signal_values
+
+        for j in range(spec.n_signal_columns):
+            columns.append(Column.numeric(f"{spec.name}_sig_{j}", value_matrix[:, j]))
+        for j in range(spec.n_extra_columns):
+            columns.append(
+                Column.numeric(
+                    f"{spec.name}_extra_{j}", rng.normal(size=value_matrix.shape[0])
+                )
+            )
+        table = Table(columns, name=spec.name)
+        candidate = JoinCandidate(
+            foreign_table=spec.name,
+            keys=[KeyPair(base_key, key_name, soft=soft)],
+            score=float(rng.uniform(0.4, 0.9)),
+        )
+        return table, contribution, candidate
+
+    def _build_noise_table(
+        self,
+        spec: NoiseTableSpec,
+        rng: np.random.Generator,
+        entity_ids: np.ndarray,
+        day_index: np.ndarray,
+    ) -> tuple[Table, JoinCandidate]:
+        """Create one pure-noise table keyed like a signal table."""
+        if spec.key == "entity" or not self.with_time_key:
+            domain = np.arange(self.n_entities, dtype=np.float64)
+            key_name, base_key, soft = "entity_id", "entity_id", False
+            key_ctype = NUMERIC
+        else:
+            domain = np.arange(self.n_days, dtype=np.float64) * DAY_SECONDS
+            key_name, base_key, soft = "timestamp", "timestamp", True
+            key_ctype = DATETIME
+        keep = rng.random(len(domain)) < spec.key_overlap
+        key_values = domain[keep]
+        columns = [Column(key_name, key_values, key_ctype)]
+        for j in range(spec.n_columns):
+            if j % 4 == 3:
+                categories = np.array(["a", "b", "c", "d", "e"], dtype=object)
+                columns.append(
+                    Column.categorical(
+                        f"{spec.name}_cat_{j}",
+                        categories[rng.integers(0, 5, size=len(key_values))],
+                    )
+                )
+            else:
+                columns.append(
+                    Column.numeric(f"{spec.name}_col_{j}", rng.normal(size=len(key_values)))
+                )
+        table = Table(columns, name=spec.name)
+        candidate = JoinCandidate(
+            foreign_table=spec.name,
+            keys=[KeyPair(base_key, key_name, soft=soft)],
+            score=float(rng.uniform(0.05, 0.6)),
+        )
+        return table, candidate

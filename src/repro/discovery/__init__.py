@@ -1,0 +1,31 @@
+"""Join discovery: the Aurum / NYU Auctus stand-in.
+
+ARDA's input is a *ranked, noisy* collection of candidate joins produced by a
+data-discovery system.  This package provides:
+
+* :class:`~repro.discovery.repository.DataRepository` — an in-memory
+  collection of named tables.
+* Column profiling (types, distinct values, MinHash signatures) used to find
+  columns that plausibly join with base-table columns.
+* :class:`~repro.discovery.discovery.JoinDiscovery` — enumerates and scores
+  candidate joins (hard and soft keys) against a base table, returning
+  :class:`~repro.discovery.candidates.JoinCandidate` objects ARDA consumes.
+"""
+
+from repro.discovery.candidates import JoinCandidate, KeyPair
+from repro.discovery.discovery import JoinDiscovery
+from repro.discovery.minhash import MinHashSignature, jaccard_estimate
+from repro.discovery.profiles import ColumnProfile, profile_column, profile_table
+from repro.discovery.repository import DataRepository
+
+__all__ = [
+    "DataRepository",
+    "JoinDiscovery",
+    "JoinCandidate",
+    "KeyPair",
+    "ColumnProfile",
+    "profile_column",
+    "profile_table",
+    "MinHashSignature",
+    "jaccard_estimate",
+]

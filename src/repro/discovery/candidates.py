@@ -1,0 +1,57 @@
+"""Candidate joins produced by discovery and consumed by ARDA."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """One base-column / foreign-column key pairing.
+
+    ``soft`` marks keys (such as timestamps or GPS coordinates) whose values
+    may not match exactly and therefore need a soft-join strategy.
+    """
+
+    base_column: str
+    foreign_column: str
+    soft: bool = False
+
+
+@dataclass
+class JoinCandidate:
+    """A candidate join between the base table and one repository table.
+
+    ``score`` is the discovery system's relevance estimate (higher = more
+    promising); ARDA uses it only to prioritise its search, never to decide
+    whether a join actually helps the model.
+    """
+
+    foreign_table: str
+    keys: list[KeyPair] = field(default_factory=list)
+    score: float = 0.0
+
+    @property
+    def is_soft(self) -> bool:
+        """Whether any key in the candidate requires a soft join."""
+        return any(key.soft for key in self.keys)
+
+    @property
+    def base_columns(self) -> list[str]:
+        """Base-table key columns."""
+        return [key.base_column for key in self.keys]
+
+    @property
+    def foreign_columns(self) -> list[str]:
+        """Foreign-table key columns."""
+        return [key.foreign_column for key in self.keys]
+
+    def key_pairs(self) -> list[tuple[str, str]]:
+        """Key pairs in the ``(base, foreign)`` tuple form the join layer expects."""
+        return [(key.base_column, key.foreign_column) for key in self.keys]
+
+    def __repr__(self) -> str:
+        keys = ", ".join(
+            f"{k.base_column}->{k.foreign_column}{'~' if k.soft else ''}" for k in self.keys
+        )
+        return f"JoinCandidate({self.foreign_table!r}, [{keys}], score={self.score:.3f})"

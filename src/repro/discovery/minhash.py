@@ -1,0 +1,62 @@
+"""MinHash signatures for estimating value-set overlap between columns."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def _stable_hash(value: str, seed: int) -> int:
+    """Deterministic 64-bit hash of a string under a seed."""
+    digest = hashlib.blake2b(
+        value.encode("utf-8"), digest_size=8, key=seed.to_bytes(8, "little")
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class MinHashSignature:
+    """MinHash signature of a set of string values."""
+
+    def __init__(self, values, num_hashes: int = 64):
+        self.num_hashes = num_hashes
+        signature = np.full(num_hashes, np.iinfo(np.uint64).max, dtype=np.uint64)
+        self.set_size = 0
+        seen = set()
+        for value in values:
+            if value is None:
+                continue
+            text = str(value)
+            if text in seen:
+                continue
+            seen.add(text)
+            for i in range(num_hashes):
+                h = _stable_hash(text, i)
+                if h < signature[i]:
+                    signature[i] = h
+        self.set_size = len(seen)
+        self.signature = signature
+
+    def jaccard(self, other: "MinHashSignature") -> float:
+        """Estimated Jaccard similarity with another signature."""
+        if self.num_hashes != other.num_hashes:
+            raise ValueError("signatures must use the same number of hash functions")
+        if self.set_size == 0 or other.set_size == 0:
+            return 0.0
+        return float(np.mean(self.signature == other.signature))
+
+    def containment_in(self, other: "MinHashSignature") -> float:
+        """Estimated containment |A ∩ B| / |A| of this set in the other set."""
+        jaccard = self.jaccard(other)
+        if jaccard == 0.0 or self.set_size == 0:
+            return 0.0
+        union_estimate = (self.set_size + other.set_size) / (1.0 + jaccard)
+        intersection_estimate = jaccard * union_estimate
+        return float(min(1.0, intersection_estimate / self.set_size))
+
+
+def jaccard_estimate(values_a, values_b, num_hashes: int = 64) -> float:
+    """Convenience: estimated Jaccard similarity of two value collections."""
+    return MinHashSignature(values_a, num_hashes).jaccard(
+        MinHashSignature(values_b, num_hashes)
+    )

@@ -1,0 +1,76 @@
+"""Column profiling used by join discovery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.discovery.minhash import MinHashSignature
+from repro.relational.column import Column
+from repro.relational.schema import CATEGORICAL, DATETIME, ColumnType
+from repro.relational.table import Table
+
+
+@dataclass
+class ColumnProfile:
+    """Summary statistics of one column used to score join candidates."""
+
+    table_name: str
+    column_name: str
+    ctype: ColumnType
+    num_rows: int
+    num_distinct: int
+    null_fraction: float
+    min_value: float | None
+    max_value: float | None
+    minhash: MinHashSignature | None
+
+    @property
+    def uniqueness(self) -> float:
+        """Distinct values divided by non-null rows (1.0 means key-like)."""
+        non_null = self.num_rows * (1.0 - self.null_fraction)
+        if non_null <= 0:
+            return 0.0
+        return min(1.0, self.num_distinct / non_null)
+
+    @property
+    def looks_like_key(self) -> bool:
+        """Heuristic: mostly distinct and mostly non-null."""
+        return self.uniqueness > 0.5 and self.null_fraction < 0.5
+
+
+def profile_column(
+    table_name: str, column: Column, num_hashes: int = 64, max_minhash_values: int = 2000
+) -> ColumnProfile:
+    """Profile one column (distinct counts, range, MinHash signature)."""
+    n = len(column)
+    null_count = column.null_count()
+    distinct = column.unique()
+    min_value = max_value = None
+    if column.ctype is not CATEGORICAL and len(distinct):
+        min_value = float(np.min(distinct))
+        max_value = float(np.max(distinct))
+    minhash_values = distinct[:max_minhash_values]
+    if column.ctype is not CATEGORICAL:
+        minhash_values = [f"{float(v):.6g}" for v in minhash_values]
+    signature = MinHashSignature(minhash_values, num_hashes=num_hashes)
+    return ColumnProfile(
+        table_name=table_name,
+        column_name=column.name,
+        ctype=column.ctype,
+        num_rows=n,
+        num_distinct=len(distinct),
+        null_fraction=null_count / n if n else 0.0,
+        min_value=min_value,
+        max_value=max_value,
+        minhash=signature,
+    )
+
+
+def profile_table(table: Table, num_hashes: int = 64) -> dict[str, ColumnProfile]:
+    """Profile every column of a table, keyed by column name."""
+    return {
+        col.name: profile_column(table.name, col, num_hashes=num_hashes)
+        for col in table.columns()
+    }

@@ -1,0 +1,63 @@
+"""An in-memory repository of named tables (the "data lake")."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.relational.io import read_csv
+from repro.relational.table import Table
+
+
+class DataRepository:
+    """A collection of candidate tables keyed by name.
+
+    The repository plays the role of the heterogeneous data pool a data
+    discovery system indexes; ARDA never scans it directly, it only receives
+    candidate joins referencing tables by name.
+    """
+
+    def __init__(self, tables: Iterable[Table] = ()):
+        self._tables: dict[str, Table] = {}
+        for table in tables:
+            self.add(table)
+
+    def add(self, table: Table) -> None:
+        """Register a table; its ``name`` must be unique and non-empty."""
+        if not table.name:
+            raise ValueError("repository tables must have a non-empty name")
+        if table.name in self._tables:
+            raise ValueError(f"a table named {table.name!r} is already registered")
+        self._tables[table.name] = table
+
+    def get(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(
+                f"no table named {name!r} in repository; available: {self.table_names}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    @property
+    def table_names(self) -> list[str]:
+        """Names of all registered tables."""
+        return list(self._tables)
+
+    @classmethod
+    def from_csv_directory(cls, directory: str | Path) -> "DataRepository":
+        """Load every ``*.csv`` file in a directory as a repository table."""
+        directory = Path(directory)
+        repository = cls()
+        for path in sorted(directory.glob("*.csv")):
+            repository.add(read_csv(path, name=path.stem))
+        return repository

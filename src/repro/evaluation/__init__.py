@@ -1,0 +1,22 @@
+"""Experiment harness: the code behind every reproduced table and figure."""
+
+from repro.evaluation.evaluator import (
+    evaluate_augmentation,
+    evaluate_selector_on_dataset,
+    evaluate_selector_on_matrix,
+    materialize_full_join,
+    regression_error,
+)
+from repro.evaluation.reporting import format_table, records_to_rows
+from repro.evaluation import experiments
+
+__all__ = [
+    "evaluate_augmentation",
+    "evaluate_selector_on_dataset",
+    "evaluate_selector_on_matrix",
+    "materialize_full_join",
+    "regression_error",
+    "format_table",
+    "records_to_rows",
+    "experiments",
+]

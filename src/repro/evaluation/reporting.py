@@ -1,0 +1,45 @@
+"""Plain-text report formatting for experiment results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.evaluation.evaluator import EvaluationRecord
+
+
+def records_to_rows(records: Sequence[EvaluationRecord]) -> list[dict]:
+    """Flatten evaluation records into plain dictionaries."""
+    rows = []
+    for record in records:
+        row = {
+            "dataset": record.dataset,
+            "method": record.method,
+            "score": round(record.score, 4),
+            "error": None if record.error is None else round(record.error, 4),
+            "time_s": round(record.elapsed, 2),
+            "n_selected": record.n_selected,
+        }
+        row.update(record.extra)
+        rows.append(row)
+    return rows
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render a list of dictionaries as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [["" if row.get(c) is None else str(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), max((len(line[i]) for line in body), default=0))
+        for i in range(len(columns))
+    ]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(len(columns))),
+        "  ".join("-" * widths[i] for i in range(len(columns))),
+    ]
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)

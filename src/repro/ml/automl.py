@@ -1,0 +1,177 @@
+"""A small AutoML search used as the stand-in for Azure AutoML / Alpine Meadow.
+
+The paper compares ARDA against black-box AutoML systems fitted on either the
+base table or the fully-materialised join under a wall-clock budget.  This
+module plays that role: a time-boxed random search over model families and
+hyper-parameters, scored with cross-validation, returning the best fitted
+model.  It is deliberately model-agnostic so the ARDA pipeline can plug it in
+as its final estimator, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, clone, is_classifier
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.knn import KNeighborsClassifier, KNeighborsRegressor
+from repro.ml.linear import Lasso, Ridge
+from repro.ml.logistic import LogisticRegression
+from repro.ml.model_selection import cross_val_score
+from repro.ml.svm import KernelSVC, LinearSVC
+
+
+@dataclass
+class SearchTrial:
+    """One evaluated (model, hyper-parameters) candidate."""
+
+    model_name: str
+    params: dict
+    score: float
+    elapsed: float
+
+
+@dataclass
+class AutoMLResult:
+    """Outcome of an AutoML search."""
+
+    best_model: BaseEstimator
+    best_score: float
+    trials: list[SearchTrial] = field(default_factory=list)
+
+
+def _classification_space(rng: np.random.Generator) -> list[tuple[str, BaseEstimator]]:
+    """Sample one hyper-parameter configuration per classifier family."""
+    return [
+        (
+            "random_forest",
+            RandomForestClassifier(
+                n_estimators=int(rng.choice([10, 20, 40])),
+                max_depth=int(rng.choice([6, 10, 14])),
+                random_state=int(rng.integers(0, 10_000)),
+            ),
+        ),
+        ("logistic_regression", LogisticRegression(C=float(rng.choice([0.1, 1.0, 10.0])))),
+        ("linear_svc", LinearSVC(C=float(rng.choice([0.1, 1.0, 10.0])))),
+        ("kernel_svc", KernelSVC(C=float(rng.choice([0.5, 1.0, 5.0])))),
+        ("knn", KNeighborsClassifier(n_neighbors=int(rng.choice([3, 5, 9])))),
+    ]
+
+
+def _regression_space(rng: np.random.Generator) -> list[tuple[str, BaseEstimator]]:
+    """Sample one hyper-parameter configuration per regressor family."""
+    return [
+        (
+            "random_forest",
+            RandomForestRegressor(
+                n_estimators=int(rng.choice([10, 20, 40])),
+                max_depth=int(rng.choice([6, 10, 14])),
+                random_state=int(rng.integers(0, 10_000)),
+            ),
+        ),
+        ("ridge", Ridge(alpha=float(rng.choice([0.1, 1.0, 10.0])))),
+        ("lasso", Lasso(alpha=float(rng.choice([0.01, 0.1, 1.0])))),
+        ("knn", KNeighborsRegressor(n_neighbors=int(rng.choice([3, 5, 9])))),
+    ]
+
+
+class AutoMLSearch(BaseEstimator):
+    """Time-boxed random model search with cross-validated scoring.
+
+    Parameters
+    ----------
+    task:
+        ``"classification"`` or ``"regression"``.
+    time_budget:
+        Wall-clock budget in seconds; the search stops starting new trials once
+        it is exhausted (at least one trial always runs).
+    max_trials:
+        Hard cap on the number of (model, configuration) trials.
+    cv:
+        Number of cross-validation folds used to score each trial.
+    """
+
+    def __init__(
+        self,
+        task: str = "classification",
+        time_budget: float = 10.0,
+        max_trials: int = 12,
+        cv: int = 3,
+        random_state: int | None = 0,
+    ):
+        if task not in ("classification", "regression"):
+            raise ValueError("task must be 'classification' or 'regression'")
+        self.task = task
+        self.time_budget = time_budget
+        self.max_trials = max_trials
+        self.cv = cv
+        self.random_state = random_state
+        self.result_: AutoMLResult | None = None
+
+    @property
+    def _estimator_type(self) -> str:
+        return "classifier" if self.task == "classification" else "regressor"
+
+    def fit(self, X, y) -> "AutoMLSearch":
+        """Run the search and fit the winning model on all of the data."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        rng = np.random.default_rng(self.random_state)
+        start = time.perf_counter()
+        trials: list[SearchTrial] = []
+        best_score, best_model = -np.inf, None
+        trial_count = 0
+        while trial_count < self.max_trials:
+            if self.task == "classification":
+                space = _classification_space(rng)
+            else:
+                space = _regression_space(rng)
+            for model_name, model in space:
+                if trial_count >= self.max_trials:
+                    break
+                elapsed = time.perf_counter() - start
+                if trials and elapsed > self.time_budget:
+                    break
+                trial_start = time.perf_counter()
+                try:
+                    scores = cross_val_score(model, X, y, cv=self.cv)
+                    score = float(np.mean(scores)) if len(scores) else -np.inf
+                except (ValueError, np.linalg.LinAlgError):
+                    score = -np.inf
+                trial_elapsed = time.perf_counter() - trial_start
+                trials.append(
+                    SearchTrial(model_name, model.get_params(), score, trial_elapsed)
+                )
+                trial_count += 1
+                if score > best_score:
+                    best_score, best_model = score, model
+            if time.perf_counter() - start > self.time_budget:
+                break
+        if best_model is None:
+            raise RuntimeError("AutoML search evaluated no successful trial")
+        fitted = clone(best_model)
+        fitted.fit(X, y)
+        self.result_ = AutoMLResult(best_model=fitted, best_score=best_score, trials=trials)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict with the best model found by the search."""
+        if self.result_ is None:
+            raise RuntimeError("AutoMLSearch must be fitted before prediction")
+        return self.result_.best_model.predict(X)
+
+    def score(self, X, y) -> float:
+        """Score with the best model found by the search."""
+        if self.result_ is None:
+            raise RuntimeError("AutoMLSearch must be fitted before scoring")
+        return self.result_.best_model.score(X, y)
+
+    @property
+    def best_model_(self) -> BaseEstimator:
+        """The fitted winning model."""
+        if self.result_ is None:
+            raise RuntimeError("AutoMLSearch must be fitted first")
+        return self.result_.best_model

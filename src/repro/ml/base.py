@@ -1,0 +1,100 @@
+"""Estimator base classes and cloning."""
+
+from __future__ import annotations
+
+import copy
+import inspect
+
+import numpy as np
+
+
+class BaseEstimator:
+    """Base class for all estimators.
+
+    Estimators follow the familiar ``fit(X, y)`` / ``predict(X)`` protocol with
+    hyper-parameters captured as constructor keyword arguments, so they can be
+    cloned (re-instantiated unfitted with the same hyper-parameters) by the
+    model-selection and feature-selection machinery.
+    """
+
+    def get_params(self) -> dict:
+        """Hyper-parameters as passed to the constructor."""
+        signature = inspect.signature(type(self).__init__)
+        params = {}
+        for name in signature.parameters:
+            if name == "self":
+                continue
+            if hasattr(self, name):
+                params[name] = getattr(self, name)
+        return params
+
+    def set_params(self, **params) -> "BaseEstimator":
+        """Set hyper-parameters in place and return self."""
+        valid = self.get_params()
+        for key, value in params.items():
+            if key not in valid:
+                raise ValueError(f"invalid parameter {key!r} for {type(self).__name__}")
+            setattr(self, key, value)
+        return self
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+class ClassifierMixin:
+    """Marker and default scoring for classifiers (accuracy)."""
+
+    _estimator_type = "classifier"
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on the given data."""
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(y, self.predict(X))
+
+
+class RegressorMixin:
+    """Marker and default scoring for regressors (R^2)."""
+
+    _estimator_type = "regressor"
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """R^2 coefficient of determination on the given data."""
+        from repro.ml.metrics import r2_score
+
+        return r2_score(y, self.predict(X))
+
+
+def is_classifier(estimator) -> bool:
+    """Whether an estimator is a classifier."""
+    return getattr(estimator, "_estimator_type", None) == "classifier"
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Return an unfitted copy of an estimator with the same hyper-parameters."""
+    params = {k: copy.deepcopy(v) for k, v in estimator.get_params().items()}
+    return type(estimator)(**params)
+
+
+def check_X_y(X, y) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce a feature matrix and target vector."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X has {X.shape[0]} rows but y has {y.shape[0]} entries"
+        )
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit an estimator on zero samples")
+    return X, y
+
+
+def check_array(X) -> np.ndarray:
+    """Validate and coerce a feature matrix."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+    return X

@@ -1,0 +1,137 @@
+"""Random forests built from bagged CART trees.
+
+Random forests serve two roles in ARDA: they are the default final estimator
+used to measure augmentation quality, and (via impurity-based feature
+importances) one half of the RIFS ranking ensemble.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    RegressorMixin,
+    check_array,
+    check_X_y,
+)
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class _BaseForest(BaseEstimator):
+    """Shared bagging machinery for forest classifiers and regressors."""
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: int | None = 10,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        bootstrap: bool = True,
+        random_state: int | None = 0,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.estimators_: list = []
+        self.feature_importances_: np.ndarray | None = None
+
+    def _make_tree(self, seed: int):
+        raise NotImplementedError
+
+    def _fit_forest(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.random_state)
+        n = X.shape[0]
+        self.estimators_ = []
+        importances = np.zeros(X.shape[1], dtype=np.float64)
+        for i in range(self.n_estimators):
+            tree = self._make_tree(int(rng.integers(0, 2**31 - 1)))
+            if self.bootstrap:
+                sample = rng.integers(0, n, size=n)
+            else:
+                sample = np.arange(n)
+            tree.fit(X[sample], y[sample])
+            self.estimators_.append(tree)
+            importances += tree.feature_importances_
+        total = importances.sum()
+        if total > 0:
+            self.feature_importances_ = importances / total
+        else:
+            self.feature_importances_ = np.zeros(X.shape[1], dtype=np.float64)
+
+
+class RandomForestRegressor(_BaseForest, RegressorMixin):
+    """Bagged ensemble of CART regression trees (prediction = mean of trees)."""
+
+    def _make_tree(self, seed: int) -> DecisionTreeRegressor:
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            random_state=seed,
+        )
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        """Fit the forest on training data."""
+        X, y = check_X_y(X, y)
+        self._fit_forest(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Average the predictions of all trees."""
+        X = check_array(X)
+        if not self.estimators_:
+            raise RuntimeError("forest must be fitted before prediction")
+        predictions = np.stack([tree.predict(X) for tree in self.estimators_])
+        return predictions.mean(axis=0)
+
+
+class RandomForestClassifier(_BaseForest, ClassifierMixin):
+    """Bagged ensemble of CART classification trees (soft voting)."""
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        """Fit the forest on training data."""
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        self._fit_forest(X, y)
+        return self
+
+    def _make_tree(self, seed: int) -> DecisionTreeClassifier:
+        return DecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            random_state=seed,
+        )
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Average the class-probability estimates of all trees.
+
+        Columns correspond to ``self.classes_``; trees that never saw a class
+        contribute zero probability for it.
+        """
+        X = check_array(X)
+        if not self.estimators_:
+            raise RuntimeError("forest must be fitted before prediction")
+        n_classes = len(self.classes_)
+        class_index = {cls: i for i, cls in enumerate(self.classes_)}
+        total = np.zeros((X.shape[0], n_classes), dtype=np.float64)
+        for tree in self.estimators_:
+            probabilities = tree.predict_proba(X)
+            for j, cls in enumerate(tree.classes_):
+                total[:, class_index[cls]] += probabilities[:, j]
+        total /= len(self.estimators_)
+        return total
+
+    def predict(self, X) -> np.ndarray:
+        """Predict the class with the highest averaged probability."""
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]

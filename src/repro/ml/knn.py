@@ -1,0 +1,74 @@
+"""Brute-force k-nearest-neighbour models (also used by the Relief selector)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    RegressorMixin,
+    check_array,
+    check_X_y,
+)
+
+
+def pairwise_sq_distances(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between the rows of A and the rows of B."""
+    a_sq = np.sum(A**2, axis=1)[:, None]
+    b_sq = np.sum(B**2, axis=1)[None, :]
+    distances = a_sq + b_sq - 2.0 * (A @ B.T)
+    np.maximum(distances, 0.0, out=distances)
+    return distances
+
+
+class _BaseKNN(BaseEstimator):
+    """Shared neighbour-search machinery."""
+
+    def __init__(self, n_neighbors: int = 5):
+        self.n_neighbors = n_neighbors
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def _neighbors(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None:
+            raise RuntimeError("model must be fitted before prediction")
+        k = min(self.n_neighbors, self._X.shape[0])
+        distances = pairwise_sq_distances(check_array(X), self._X)
+        return np.argsort(distances, axis=1)[:, :k]
+
+
+class KNeighborsClassifier(_BaseKNN, ClassifierMixin):
+    """Majority-vote k-NN classifier."""
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        """Store the training data."""
+        X, y = check_X_y(X, y)
+        self._X, self._y = X, y
+        self.classes_ = np.unique(y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict the majority class among the k nearest training rows."""
+        neighbors = self._neighbors(X)
+        labels = self._y[neighbors]
+        predictions = np.empty(len(labels), dtype=np.float64)
+        for i, row in enumerate(labels):
+            values, counts = np.unique(row, return_counts=True)
+            predictions[i] = values[np.argmax(counts)]
+        return predictions
+
+
+class KNeighborsRegressor(_BaseKNN, RegressorMixin):
+    """Mean-of-neighbours k-NN regressor."""
+
+    def fit(self, X, y) -> "KNeighborsRegressor":
+        """Store the training data."""
+        X, y = check_X_y(X, y)
+        self._X, self._y = X, y
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict the mean target of the k nearest training rows."""
+        neighbors = self._neighbors(X)
+        return self._y[neighbors].mean(axis=1)

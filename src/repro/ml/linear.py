@@ -1,0 +1,169 @@
+"""Linear regression models: OLS, ridge, lasso and elastic net.
+
+Lasso and elastic net are fitted by cyclic coordinate descent on standardised
+features; the absolute values of their coefficients double as feature-ranking
+scores in the selection package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, RegressorMixin, check_array, check_X_y
+
+
+class LinearRegression(BaseEstimator, RegressorMixin):
+    """Ordinary least squares via numpy's least-squares solver."""
+
+    def __init__(self, fit_intercept: bool = True):
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y) -> "LinearRegression":
+        """Fit OLS coefficients."""
+        X, y = check_X_y(X, y)
+        if self.fit_intercept:
+            design = np.column_stack([np.ones(X.shape[0]), X])
+        else:
+            design = X
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        if self.fit_intercept:
+            self.intercept_ = float(solution[0])
+            self.coef_ = solution[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = solution
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict with the fitted linear model."""
+        if self.coef_ is None:
+            raise RuntimeError("model must be fitted before prediction")
+        return check_array(X) @ self.coef_ + self.intercept_
+
+
+class Ridge(BaseEstimator, RegressorMixin):
+    """L2-regularised linear regression with a closed-form solution."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True):
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y) -> "Ridge":
+        """Solve (X^T X + alpha I) w = X^T y on centred data."""
+        X, y = check_X_y(X, y)
+        if self.fit_intercept:
+            x_mean, y_mean = X.mean(axis=0), float(y.mean())
+            Xc, yc = X - x_mean, y - y_mean
+        else:
+            x_mean, y_mean = np.zeros(X.shape[1]), 0.0
+            Xc, yc = X, y
+        d = X.shape[1]
+        gram = Xc.T @ Xc + self.alpha * np.eye(d)
+        self.coef_ = np.linalg.solve(gram, Xc.T @ yc)
+        self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict with the fitted linear model."""
+        if self.coef_ is None:
+            raise RuntimeError("model must be fitted before prediction")
+        return check_array(X) @ self.coef_ + self.intercept_
+
+
+def _soft_threshold(value: float, threshold: float) -> float:
+    """Soft-thresholding operator used by coordinate descent."""
+    if value > threshold:
+        return value - threshold
+    if value < -threshold:
+        return value + threshold
+    return 0.0
+
+
+class ElasticNet(BaseEstimator, RegressorMixin):
+    """Linear regression with combined L1/L2 penalty (coordinate descent).
+
+    Minimises ``1/(2n) ||y - Xw||^2 + alpha * l1_ratio * ||w||_1
+    + alpha * (1 - l1_ratio)/2 * ||w||_2^2`` on internally standardised
+    features; coefficients are reported on the original feature scale.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        l1_ratio: float = 0.5,
+        max_iter: int = 300,
+        tol: float = 1e-5,
+        fit_intercept: bool = True,
+    ):
+        self.alpha = alpha
+        self.l1_ratio = l1_ratio
+        self.max_iter = max_iter
+        self.tol = tol
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self.n_iter_: int = 0
+
+    def fit(self, X, y) -> "ElasticNet":
+        """Run cyclic coordinate descent until the coefficients stabilise."""
+        X, y = check_X_y(X, y)
+        n, d = X.shape
+        x_mean = X.mean(axis=0) if self.fit_intercept else np.zeros(d)
+        x_scale = X.std(axis=0)
+        x_scale[x_scale == 0.0] = 1.0
+        y_mean = float(y.mean()) if self.fit_intercept else 0.0
+        Xs = (X - x_mean) / x_scale
+        yc = y - y_mean
+
+        w = np.zeros(d)
+        residual = yc.copy()
+        l1 = self.alpha * self.l1_ratio
+        l2 = self.alpha * (1.0 - self.l1_ratio)
+        column_norms = (Xs**2).sum(axis=0) / n
+        for iteration in range(self.max_iter):
+            max_delta = 0.0
+            for j in range(d):
+                if column_norms[j] == 0.0:
+                    continue
+                old = w[j]
+                rho = (Xs[:, j] @ residual) / n + column_norms[j] * old
+                new = _soft_threshold(rho, l1) / (column_norms[j] + l2)
+                if new != old:
+                    residual += Xs[:, j] * (old - new)
+                    w[j] = new
+                    max_delta = max(max_delta, abs(new - old))
+            self.n_iter_ = iteration + 1
+            if max_delta < self.tol:
+                break
+        self.coef_ = w / x_scale
+        self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict with the fitted linear model."""
+        if self.coef_ is None:
+            raise RuntimeError("model must be fitted before prediction")
+        return check_array(X) @ self.coef_ + self.intercept_
+
+
+class Lasso(ElasticNet):
+    """L1-regularised linear regression (elastic net with ``l1_ratio=1``)."""
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        max_iter: int = 300,
+        tol: float = 1e-5,
+        fit_intercept: bool = True,
+    ):
+        super().__init__(
+            alpha=alpha,
+            l1_ratio=1.0,
+            max_iter=max_iter,
+            tol=tol,
+            fit_intercept=fit_intercept,
+        )

@@ -1,0 +1,123 @@
+"""Prediction-quality metrics for classification and regression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_1d(values) -> np.ndarray:
+    return np.asarray(values).ravel()
+
+
+# -- classification ------------------------------------------------------------
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly-matching predictions."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    if len(y_true) == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))
+
+
+def _binary_counts(y_true, y_pred, positive) -> tuple[int, int, int]:
+    tp = int(np.sum((y_pred == positive) & (y_true == positive)))
+    fp = int(np.sum((y_pred == positive) & (y_true != positive)))
+    fn = int(np.sum((y_pred != positive) & (y_true == positive)))
+    return tp, fp, fn
+
+
+def precision_score(y_true, y_pred, average: str = "macro") -> float:
+    """Precision; macro-averaged over classes by default."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    scores = []
+    for cls in np.unique(y_true):
+        tp, fp, _ = _binary_counts(y_true, y_pred, cls)
+        scores.append(tp / (tp + fp) if (tp + fp) else 0.0)
+    if average == "macro":
+        return float(np.mean(scores)) if scores else 0.0
+    raise ValueError(f"unsupported average {average!r}")
+
+
+def recall_score(y_true, y_pred, average: str = "macro") -> float:
+    """Recall; macro-averaged over classes by default."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    scores = []
+    for cls in np.unique(y_true):
+        tp, _, fn = _binary_counts(y_true, y_pred, cls)
+        scores.append(tp / (tp + fn) if (tp + fn) else 0.0)
+    if average == "macro":
+        return float(np.mean(scores)) if scores else 0.0
+    raise ValueError(f"unsupported average {average!r}")
+
+
+def f1_score(y_true, y_pred, average: str = "macro") -> float:
+    """F1 score; macro-averaged over classes by default."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    scores = []
+    for cls in np.unique(y_true):
+        tp, fp, fn = _binary_counts(y_true, y_pred, cls)
+        precision = tp / (tp + fp) if (tp + fp) else 0.0
+        recall = tp / (tp + fn) if (tp + fn) else 0.0
+        denom = precision + recall
+        scores.append(2 * precision * recall / denom if denom else 0.0)
+    if average == "macro":
+        return float(np.mean(scores)) if scores else 0.0
+    raise ValueError(f"unsupported average {average!r}")
+
+
+def log_loss(y_true, probabilities, eps: float = 1e-12) -> float:
+    """Multi-class logarithmic loss.
+
+    ``probabilities`` is an ``(n_samples, n_classes)`` matrix whose columns
+    correspond to ``sorted(unique(y_true))``.
+    """
+    y_true = _as_1d(y_true)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    probabilities = np.clip(probabilities, eps, 1.0 - eps)
+    classes = np.unique(y_true)
+    index = {cls: i for i, cls in enumerate(classes)}
+    picks = np.array([index[v] for v in y_true])
+    chosen = probabilities[np.arange(len(y_true)), picks]
+    return float(-np.mean(np.log(chosen)))
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """Confusion matrix with rows = true classes, columns = predicted classes."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    classes = np.unique(np.concatenate([y_true, y_pred]))
+    index = {cls: i for i, cls in enumerate(classes)}
+    matrix = np.zeros((len(classes), len(classes)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+# -- regression -----------------------------------------------------------------
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean squared error."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination R^2 (1.0 is perfect, 0.0 is the mean model)."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    total = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    residual = float(np.sum((y_true - y_pred) ** 2))
+    if total == 0.0:
+        return 0.0 if residual > 0 else 1.0
+    return 1.0 - residual / total

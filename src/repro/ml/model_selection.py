@@ -1,0 +1,137 @@
+"""Data splitting and cross-validation."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.ml.base import clone, is_classifier
+
+
+def train_test_split(
+    *arrays,
+    test_size: float = 0.25,
+    random_state: int | None = None,
+    stratify: np.ndarray | None = None,
+) -> list:
+    """Split arrays into random train and test subsets.
+
+    With ``stratify`` given, the class proportions of that vector are preserved
+    in both splits (each class contributes at least one test row when it has
+    two or more members).
+    """
+    if not arrays:
+        raise ValueError("at least one array is required")
+    n = len(np.asarray(arrays[0]))
+    for arr in arrays:
+        if len(np.asarray(arr)) != n:
+            raise ValueError("all arrays must have the same length")
+    rng = np.random.default_rng(random_state)
+    if stratify is not None:
+        stratify = np.asarray(stratify).ravel()
+        test_mask = np.zeros(n, dtype=bool)
+        for cls in np.unique(stratify):
+            members = np.nonzero(stratify == cls)[0]
+            rng.shuffle(members)
+            n_test = int(round(len(members) * test_size))
+            if len(members) >= 2:
+                n_test = min(max(n_test, 1), len(members) - 1)
+            test_mask[members[:n_test]] = True
+        test_idx = np.nonzero(test_mask)[0]
+        train_idx = np.nonzero(~test_mask)[0]
+    else:
+        order = rng.permutation(n)
+        n_test = max(int(round(n * test_size)), 1)
+        test_idx, train_idx = order[:n_test], order[n_test:]
+    result = []
+    for arr in arrays:
+        arr = np.asarray(arr)
+        result.append(arr[train_idx])
+        result.append(arr[test_idx])
+    return result
+
+
+class KFold:
+    """K-fold cross-validation splitter."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state: int | None = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y=None) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        n = len(np.asarray(X))
+        indices = np.arange(n)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            rng.shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = folds[i]
+            train_idx = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train_idx, test_idx
+
+
+class StratifiedKFold:
+    """K-fold splitter that preserves class proportions in every fold."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state: int | None = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs stratified by ``y``."""
+        y = np.asarray(y).ravel()
+        n = len(y)
+        rng = np.random.default_rng(self.random_state)
+        fold_of = np.zeros(n, dtype=np.int64)
+        for cls in np.unique(y):
+            members = np.nonzero(y == cls)[0]
+            if self.shuffle:
+                rng.shuffle(members)
+            for position, index in enumerate(members):
+                fold_of[index] = position % self.n_splits
+        for fold in range(self.n_splits):
+            test_idx = np.nonzero(fold_of == fold)[0]
+            train_idx = np.nonzero(fold_of != fold)[0]
+            yield train_idx, test_idx
+
+
+def cross_val_score(
+    estimator,
+    X,
+    y,
+    cv: int = 5,
+    scoring=None,
+    random_state: int | None = 0,
+) -> np.ndarray:
+    """Fit/score an estimator over cross-validation folds.
+
+    ``scoring`` is a ``(y_true, y_pred) -> float`` callable; when omitted the
+    estimator's own ``score`` method is used (accuracy for classifiers, R^2 for
+    regressors).  Classifiers get stratified folds.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if is_classifier(estimator):
+        splitter = StratifiedKFold(n_splits=cv, random_state=random_state)
+    else:
+        splitter = KFold(n_splits=cv, random_state=random_state)
+    scores = []
+    for train_idx, test_idx in splitter.split(X, y):
+        if len(test_idx) == 0 or len(train_idx) == 0:
+            continue
+        model = clone(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        if scoring is None:
+            scores.append(model.score(X[test_idx], y[test_idx]))
+        else:
+            scores.append(scoring(y[test_idx], model.predict(X[test_idx])))
+    return np.array(scores, dtype=np.float64)

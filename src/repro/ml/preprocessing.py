@@ -1,0 +1,107 @@
+"""Feature scaling and label encoding transformers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array
+
+
+class StandardScaler(BaseEstimator):
+    """Standardise features to zero mean and unit variance."""
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y=None) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation."""
+        X = check_array(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            scale = X.std(axis=0)
+            scale[scale == 0.0] = 1.0
+            self.scale_ = scale
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the learned standardisation."""
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler must be fitted before transform")
+        X = check_array(X)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray, y=None) -> np.ndarray:
+        """Fit and transform in one step."""
+        return self.fit(X, y).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Undo the standardisation."""
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler must be fitted before inverse_transform")
+        return check_array(X) * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale features to the [0, 1] range."""
+
+    def __init__(self):
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y=None) -> "MinMaxScaler":
+        """Learn per-feature minimum and range."""
+        X = check_array(X)
+        self.min_ = X.min(axis=0)
+        value_range = X.max(axis=0) - self.min_
+        value_range[value_range == 0.0] = 1.0
+        self.range_ = value_range
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling."""
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler must be fitted before transform")
+        return (check_array(X) - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray, y=None) -> np.ndarray:
+        """Fit and transform in one step."""
+        return self.fit(X, y).transform(X)
+
+
+class LabelEncoder(BaseEstimator):
+    """Encode arbitrary labels as integer class codes 0..K-1."""
+
+    def __init__(self):
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, y) -> "LabelEncoder":
+        """Learn the sorted set of distinct labels."""
+        self.classes_ = np.unique(np.asarray(y).ravel())
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        """Map labels to their class codes."""
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder must be fitted before transform")
+        y = np.asarray(y).ravel()
+        index = {cls: i for i, cls in enumerate(self.classes_)}
+        try:
+            return np.array([index[v] for v in y], dtype=np.int64)
+        except KeyError as exc:
+            raise ValueError(f"unseen label {exc.args[0]!r}") from None
+
+    def fit_transform(self, y) -> np.ndarray:
+        """Fit and transform in one step."""
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, codes) -> np.ndarray:
+        """Map class codes back to labels."""
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder must be fitted before inverse_transform")
+        codes = np.asarray(codes, dtype=np.int64).ravel()
+        return self.classes_[codes]

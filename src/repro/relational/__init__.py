@@ -1,0 +1,59 @@
+"""Columnar relational engine used as ARDA's substrate.
+
+This package replaces the pandas layer used by the original ARDA prototype
+with a small, typed, numpy-backed relational engine.  It provides:
+
+* :class:`~repro.relational.column.Column` — a typed, nullable column.
+* :class:`~repro.relational.table.Table` — an ordered collection of equal
+  length columns with selection, filtering, sorting and group-by support.
+* Hash LEFT joins on single and composite keys (:mod:`repro.relational.join`).
+* Soft joins (nearest-neighbour and two-way nearest-neighbour interpolation)
+  for keys such as timestamps that do not align exactly
+  (:mod:`repro.relational.soft_join`).
+* Time resampling for joining tables with mismatched time granularity
+  (:mod:`repro.relational.resample`).
+* Group-by aggregation, imputation and one-hot encoding used by the ARDA
+  pipeline before model training.
+"""
+
+from repro.relational.column import Column
+from repro.relational.schema import (
+    BOOLEAN,
+    CATEGORICAL,
+    DATETIME,
+    NUMERIC,
+    ColumnType,
+    Schema,
+)
+from repro.relational.table import Table
+from repro.relational.join import left_join
+from repro.relational.soft_join import (
+    nearest_join,
+    two_way_nearest_join,
+)
+from repro.relational.resample import resample_to_granularity
+from repro.relational.aggregate import group_by_aggregate
+from repro.relational.imputation import impute_table
+from repro.relational.encoding import encode_features, to_design_matrix
+from repro.relational.io import read_csv, write_csv
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Schema",
+    "NUMERIC",
+    "CATEGORICAL",
+    "DATETIME",
+    "BOOLEAN",
+    "Table",
+    "left_join",
+    "nearest_join",
+    "two_way_nearest_join",
+    "resample_to_granularity",
+    "group_by_aggregate",
+    "impute_table",
+    "encode_features",
+    "to_design_matrix",
+    "read_csv",
+    "write_csv",
+]

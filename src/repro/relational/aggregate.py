@@ -1,0 +1,148 @@
+"""Group-by aggregation.
+
+ARDA pre-aggregates foreign tables on their join keys so that one-to-many and
+many-to-many joins reduce to the row-preserving one-to-one / many-to-one cases
+(paper section 4, "Join Cardinality").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.relational.column import Column
+from repro.relational.schema import CATEGORICAL, NUMERIC
+from repro.relational.table import Table
+
+
+def _mode(values: np.ndarray):
+    """Most frequent non-missing value of an object array (None if all missing)."""
+    counts: dict = {}
+    for value in values:
+        if value is None:
+            continue
+        counts[value] = counts.get(value, 0) + 1
+    if not counts:
+        return None
+    return max(counts.items(), key=lambda kv: kv[1])[0]
+
+
+_NUMERIC_AGGS: dict[str, Callable[[np.ndarray], float]] = {
+    "mean": lambda v: float(np.nanmean(v)) if np.any(~np.isnan(v)) else float("nan"),
+    "sum": lambda v: float(np.nansum(v)) if np.any(~np.isnan(v)) else float("nan"),
+    "min": lambda v: float(np.nanmin(v)) if np.any(~np.isnan(v)) else float("nan"),
+    "max": lambda v: float(np.nanmax(v)) if np.any(~np.isnan(v)) else float("nan"),
+    "median": lambda v: float(np.nanmedian(v)) if np.any(~np.isnan(v)) else float("nan"),
+    "std": lambda v: float(np.nanstd(v)) if np.any(~np.isnan(v)) else float("nan"),
+    "count": lambda v: float(np.sum(~np.isnan(v))),
+    "first": lambda v: float(v[0]) if len(v) else float("nan"),
+}
+
+_CATEGORICAL_AGGS: dict[str, Callable[[np.ndarray], object]] = {
+    "mode": _mode,
+    "first": lambda v: v[0] if len(v) else None,
+    "nunique": lambda v: len({x for x in v if x is not None}),
+}
+
+
+def group_keys(table: Table, keys: Sequence[str]) -> tuple[np.ndarray, list[tuple]]:
+    """Assign a group id to each row based on the tuple of key values.
+
+    Returns ``(group_ids, distinct_key_tuples)`` where ``group_ids[i]`` indexes
+    into ``distinct_key_tuples``.  Missing key values participate as their own
+    group (keyed by ``None`` / ``NaN`` represented as ``None``).
+    """
+    key_columns = [table.column(k) for k in keys]
+    n = table.num_rows
+    tuples: list[tuple] = []
+    index_of: dict[tuple, int] = {}
+    group_ids = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        parts = []
+        for col in key_columns:
+            value = col.values[i]
+            if col.ctype is CATEGORICAL:
+                parts.append(value)
+            else:
+                parts.append(None if np.isnan(value) else float(value))
+        key = tuple(parts)
+        if key not in index_of:
+            index_of[key] = len(tuples)
+            tuples.append(key)
+        group_ids[i] = index_of[key]
+    return group_ids, tuples
+
+
+def group_by_aggregate(
+    table: Table,
+    keys: Sequence[str],
+    numeric_agg: str = "mean",
+    categorical_agg: str = "mode",
+    agg_overrides: Mapping[str, str] | None = None,
+) -> Table:
+    """Aggregate a table so that key tuples become unique.
+
+    Non-key numeric columns are aggregated with ``numeric_agg`` and non-key
+    categorical columns with ``categorical_agg``; ``agg_overrides`` can pick a
+    different aggregate per column.  The result has one row per distinct key
+    tuple, with key columns first.
+    """
+    if not keys:
+        raise ValueError("group_by_aggregate requires at least one key column")
+    agg_overrides = dict(agg_overrides or {})
+    group_ids, tuples = group_keys(table, keys)
+    n_groups = len(tuples)
+    order = np.argsort(group_ids, kind="stable")
+    sorted_ids = group_ids[order]
+    boundaries = np.searchsorted(sorted_ids, np.arange(n_groups))
+    boundaries = np.append(boundaries, len(sorted_ids))
+
+    out_columns: list[Column] = []
+    for k_index, key in enumerate(keys):
+        col = table.column(key)
+        values = [tuples[g][k_index] for g in range(n_groups)]
+        if col.ctype is CATEGORICAL:
+            out_columns.append(Column(key, values, CATEGORICAL))
+        else:
+            floats = np.array(
+                [np.nan if v is None else v for v in values], dtype=np.float64
+            )
+            out_columns.append(Column.from_array(key, floats, col.ctype))
+
+    key_set = set(keys)
+    for col in table.columns():
+        if col.name in key_set:
+            continue
+        agg_name = agg_overrides.get(
+            col.name, categorical_agg if col.ctype is CATEGORICAL else numeric_agg
+        )
+        if col.ctype is CATEGORICAL:
+            agg_fn = _CATEGORICAL_AGGS.get(agg_name)
+            if agg_fn is None:
+                raise ValueError(f"unknown categorical aggregate {agg_name!r}")
+            data = col.values[order]
+            values = [
+                agg_fn(data[boundaries[g]:boundaries[g + 1]]) for g in range(n_groups)
+            ]
+            if agg_name == "nunique":
+                out_columns.append(Column(col.name, values, NUMERIC))
+            else:
+                out_columns.append(Column(col.name, values, CATEGORICAL))
+        else:
+            agg_fn = _NUMERIC_AGGS.get(agg_name)
+            if agg_fn is None:
+                raise ValueError(f"unknown numeric aggregate {agg_name!r}")
+            data = col.values[order]
+            values = np.array(
+                [agg_fn(data[boundaries[g]:boundaries[g + 1]]) for g in range(n_groups)],
+                dtype=np.float64,
+            )
+            out_columns.append(Column.from_array(col.name, values, col.ctype))
+    return Table(out_columns, name=table.name)
+
+
+def is_unique_on(table: Table, keys: Sequence[str]) -> bool:
+    """Whether the key tuples identify rows uniquely."""
+    group_ids, tuples = group_keys(table, keys)
+    return len(tuples) == table.num_rows

@@ -1,0 +1,226 @@
+"""Typed, nullable columns backed by numpy arrays."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.relational.schema import (
+    BOOLEAN,
+    CATEGORICAL,
+    DATETIME,
+    NUMERIC,
+    ColumnType,
+)
+
+_EPOCH = _dt.datetime(1970, 1, 1)
+
+
+def _to_epoch_seconds(value) -> float:
+    """Convert a datetime-like value to float epoch seconds."""
+    if value is None:
+        return float("nan")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, _dt.datetime):
+        return (value - _EPOCH).total_seconds()
+    if isinstance(value, _dt.date):
+        return (_dt.datetime(value.year, value.month, value.day) - _EPOCH).total_seconds()
+    if isinstance(value, str):
+        return (_dt.datetime.fromisoformat(value) - _EPOCH).total_seconds()
+    raise TypeError(f"cannot interpret {value!r} as a datetime")
+
+
+class Column:
+    """A single named, typed, nullable column of values.
+
+    Numeric, datetime and boolean columns store values in a ``float64`` array
+    with ``NaN`` marking missing entries.  Categorical columns store values in
+    an object array of strings with ``None`` marking missing entries.
+    """
+
+    def __init__(self, name: str, values, ctype: ColumnType | None = None):
+        self.name = name
+        if ctype is None:
+            ctype = infer_type(values)
+        self.ctype = ctype
+        self._data = _coerce(values, ctype)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def numeric(cls, name: str, values) -> "Column":
+        """Build a numeric column."""
+        return cls(name, values, NUMERIC)
+
+    @classmethod
+    def categorical(cls, name: str, values) -> "Column":
+        """Build a categorical (string) column."""
+        return cls(name, values, CATEGORICAL)
+
+    @classmethod
+    def datetime(cls, name: str, values) -> "Column":
+        """Build a datetime column (stored as epoch seconds)."""
+        return cls(name, values, DATETIME)
+
+    @classmethod
+    def boolean(cls, name: str, values) -> "Column":
+        """Build a boolean column (stored as 0.0/1.0)."""
+        return cls(name, values, BOOLEAN)
+
+    @classmethod
+    def from_array(cls, name: str, data: np.ndarray, ctype: ColumnType) -> "Column":
+        """Wrap an already-coerced array without copying or re-validating."""
+        col = cls.__new__(cls)
+        col.name = name
+        col.ctype = ctype
+        col._data = data
+        return col
+
+    # -- basic protocol -------------------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:
+        """The backing array (float64 or object depending on type)."""
+        return self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        if self.name != other.name or self.ctype != other.ctype:
+            return False
+        if len(self) != len(other):
+            return False
+        if self.ctype is CATEGORICAL:
+            return bool(np.array_equal(self._data, other._data))
+        a, b = self._data, other._data
+        both_nan = np.isnan(a) & np.isnan(b)
+        return bool(np.all(both_nan | (a == b)))
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {self.ctype.value}, n={len(self)})"
+
+    # -- missing values -------------------------------------------------------
+
+    def missing_mask(self) -> np.ndarray:
+        """Boolean mask that is True where the value is missing."""
+        if self.ctype is CATEGORICAL:
+            return np.array([v is None for v in self._data], dtype=bool)
+        return np.isnan(self._data)
+
+    def null_count(self) -> int:
+        """Number of missing entries."""
+        return int(self.missing_mask().sum())
+
+    # -- transforms ------------------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Select rows by integer position (supports repeats)."""
+        return Column.from_array(self.name, self._data[indices], self.ctype)
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """Select rows where ``mask`` is True."""
+        return Column.from_array(self.name, self._data[mask], self.ctype)
+
+    def rename(self, new_name: str) -> "Column":
+        """Return a copy of this column with a new name."""
+        return Column.from_array(new_name, self._data, self.ctype)
+
+    def copy(self) -> "Column":
+        """Deep copy of the column."""
+        return Column.from_array(self.name, self._data.copy(), self.ctype)
+
+    def unique(self) -> list:
+        """Distinct non-missing values (unsorted for categorical)."""
+        if self.ctype is CATEGORICAL:
+            seen: dict = {}
+            for value in self._data:
+                if value is not None and value not in seen:
+                    seen[value] = True
+            return list(seen)
+        data = self._data[~np.isnan(self._data)]
+        return list(np.unique(data))
+
+    def to_list(self) -> list:
+        """Values as a plain Python list (missing numeric values stay NaN)."""
+        return list(self._data)
+
+    def cast(self, ctype: ColumnType) -> "Column":
+        """Return a copy coerced to a different logical type."""
+        return Column(self.name, list(self._data), ctype)
+
+
+def infer_type(values) -> ColumnType:
+    """Infer the logical type of a sequence of raw Python values."""
+    if isinstance(values, np.ndarray) and values.dtype.kind in "fiu":
+        return NUMERIC
+    if isinstance(values, np.ndarray) and values.dtype.kind == "b":
+        return BOOLEAN
+    saw_bool = saw_number = saw_datetime = saw_string = False
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool) or isinstance(value, np.bool_):
+            saw_bool = True
+        elif isinstance(value, (int, float, np.integer, np.floating)):
+            if isinstance(value, float) and np.isnan(value):
+                continue
+            saw_number = True
+        elif isinstance(value, (_dt.date, _dt.datetime)):
+            saw_datetime = True
+        else:
+            saw_string = True
+    if saw_string:
+        return CATEGORICAL
+    if saw_datetime:
+        return DATETIME
+    if saw_bool and not saw_number:
+        return BOOLEAN
+    return NUMERIC
+
+
+def _coerce(values, ctype: ColumnType) -> np.ndarray:
+    """Coerce raw values into the backing array for ``ctype``."""
+    if ctype is CATEGORICAL:
+        out = np.empty(len(values), dtype=object)
+        for i, value in enumerate(values):
+            if value is None:
+                out[i] = None
+            elif isinstance(value, float) and np.isnan(value):
+                out[i] = None
+            else:
+                out[i] = str(value)
+        return out
+    if ctype is DATETIME:
+        if isinstance(values, np.ndarray) and values.dtype.kind == "f":
+            return values.astype(np.float64)
+        return np.array([_to_epoch_seconds(v) for v in values], dtype=np.float64)
+    # numeric / boolean
+    if isinstance(values, np.ndarray) and values.dtype.kind in "fiub":
+        return values.astype(np.float64)
+    out = np.empty(len(values), dtype=np.float64)
+    for i, value in enumerate(values):
+        if value is None:
+            out[i] = np.nan
+        elif isinstance(value, str):
+            out[i] = float(value) if value.strip() else np.nan
+        else:
+            out[i] = float(value)
+    return out
+
+
+def concat_columns(columns: Sequence[Column]) -> Column:
+    """Vertically concatenate columns that share a name and type."""
+    if not columns:
+        raise ValueError("cannot concatenate an empty sequence of columns")
+    first = columns[0]
+    for col in columns[1:]:
+        if col.ctype is not first.ctype:
+            raise ValueError("cannot concatenate columns of different types")
+    data = np.concatenate([col.values for col in columns])
+    return Column.from_array(first.name, data, first.ctype)

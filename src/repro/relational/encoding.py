@@ -1,0 +1,138 @@
+"""Feature encoding: turn a relational table into a numeric design matrix.
+
+ARDA binarises categorical features into one-hot indicator columns (so the
+result is amenable to sketching and to the linear models in the ranking
+ensemble) and leaves numeric / datetime / boolean columns as-is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.relational.column import Column
+from repro.relational.imputation import impute_table
+from repro.relational.schema import CATEGORICAL, NUMERIC
+from repro.relational.table import Table
+
+
+@dataclass
+class EncodedMatrix:
+    """A numeric design matrix plus bookkeeping back to table columns.
+
+    ``feature_names`` names each matrix column; ``source_columns`` maps each
+    matrix column back to the table column it was derived from (one-hot
+    expansion produces several matrix columns per categorical table column).
+    """
+
+    matrix: np.ndarray
+    feature_names: list[str]
+    source_columns: list[str]
+
+    @property
+    def num_features(self) -> int:
+        """Number of encoded feature columns."""
+        return self.matrix.shape[1]
+
+    def columns_for_source(self, source: str) -> list[int]:
+        """Indices of matrix columns derived from one table column."""
+        return [i for i, s in enumerate(self.source_columns) if s == source]
+
+
+def encode_features(
+    table: Table,
+    exclude: Sequence[str] = (),
+    max_categories: int = 20,
+    impute: bool = True,
+    seed: int = 0,
+) -> EncodedMatrix:
+    """Encode every column except ``exclude`` into a float matrix.
+
+    Categorical columns with at most ``max_categories`` distinct values are
+    one-hot encoded; higher-cardinality categorical columns are frequency
+    encoded (each value replaced by its relative frequency) to avoid blowing up
+    the feature count.  Missing values are imputed first when ``impute`` is
+    True, otherwise NaNs are replaced by 0 after encoding.
+    """
+    exclude_set = set(exclude)
+    work = table.drop([c for c in exclude if c in table.column_names]) if exclude_set else table
+    if impute:
+        work = impute_table(work, seed=seed)
+
+    blocks: list[np.ndarray] = []
+    feature_names: list[str] = []
+    source_columns: list[str] = []
+    n = work.num_rows
+    for col in work.columns():
+        if col.ctype is CATEGORICAL:
+            block, names = _encode_categorical(col, max_categories)
+        else:
+            block = col.values.astype(np.float64).reshape(n, -1)
+            names = [col.name]
+        blocks.append(block)
+        feature_names.extend(names)
+        source_columns.extend([col.name] * block.shape[1])
+    if blocks:
+        matrix = np.column_stack(blocks)
+    else:
+        matrix = np.empty((n, 0), dtype=np.float64)
+    matrix = np.nan_to_num(matrix, nan=0.0, posinf=0.0, neginf=0.0)
+    return EncodedMatrix(matrix=matrix, feature_names=feature_names, source_columns=source_columns)
+
+
+def _encode_categorical(col: Column, max_categories: int) -> tuple[np.ndarray, list[str]]:
+    """One-hot or frequency encode a categorical column."""
+    values = col.values
+    n = len(values)
+    categories = col.unique()
+    if 0 < len(categories) <= max_categories:
+        block = np.zeros((n, len(categories)), dtype=np.float64)
+        index = {cat: j for j, cat in enumerate(categories)}
+        for i, value in enumerate(values):
+            j = index.get(value)
+            if j is not None:
+                block[i, j] = 1.0
+        names = [f"{col.name}={cat}" for cat in categories]
+        return block, names
+    # frequency encoding for high-cardinality (or all-missing) columns
+    counts: dict = {}
+    for value in values:
+        if value is not None:
+            counts[value] = counts.get(value, 0) + 1
+    block = np.zeros((n, 1), dtype=np.float64)
+    for i, value in enumerate(values):
+        block[i, 0] = counts.get(value, 0) / max(n, 1)
+    return block, [f"{col.name}__freq"]
+
+
+def to_design_matrix(
+    table: Table,
+    target: str,
+    exclude: Sequence[str] = (),
+    max_categories: int = 20,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, EncodedMatrix]:
+    """Split a table into ``(X, y, encoding)`` for model training.
+
+    The target column is returned as a float vector for regression targets and
+    as integer class codes for categorical targets.
+    """
+    target_col = table.column(target)
+    y = encode_target(target_col)
+    features = encode_features(
+        table, exclude=list(exclude) + [target], max_categories=max_categories, seed=seed
+    )
+    return features.matrix, y, features
+
+
+def encode_target(column: Column) -> np.ndarray:
+    """Encode a target column: floats for numeric, class codes for categorical."""
+    if column.ctype is CATEGORICAL:
+        categories = sorted({v for v in column.values if v is not None})
+        index = {cat: i for i, cat in enumerate(categories)}
+        return np.array(
+            [index.get(v, -1) for v in column.values], dtype=np.float64
+        )
+    return column.values.astype(np.float64)

@@ -1,0 +1,72 @@
+"""Missing-value imputation.
+
+ARDA uses deliberately simple imputation to keep the end-to-end runtime low
+(paper section 4, "Imputation"): numeric columns get their median, categorical
+columns get a uniform random sample of the observed values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational.column import Column
+from repro.relational.schema import CATEGORICAL
+from repro.relational.table import Table
+
+
+def impute_numeric_median(column: Column) -> Column:
+    """Replace NaNs with the column median (0.0 if the column is all-missing)."""
+    values = column.values.astype(np.float64)
+    mask = np.isnan(values)
+    if not mask.any():
+        return column
+    observed = values[~mask]
+    fill = float(np.median(observed)) if len(observed) else 0.0
+    out = values.copy()
+    out[mask] = fill
+    return Column.from_array(column.name, out, column.ctype)
+
+
+def impute_categorical_random(
+    column: Column, rng: np.random.Generator | None = None
+) -> Column:
+    """Replace missing categorical values with uniform samples of observed ones.
+
+    If every value is missing, the placeholder string ``"__missing__"`` is
+    used so downstream encoding still produces a (constant) feature.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    values = column.values
+    mask = np.array([v is None for v in values], dtype=bool)
+    if not mask.any():
+        return column
+    observed = [v for v in values if v is not None]
+    out = values.copy()
+    if observed:
+        picks = rng.integers(0, len(observed), size=int(mask.sum()))
+        out[mask] = [observed[p] for p in picks]
+    else:
+        out[mask] = "__missing__"
+    return Column.from_array(column.name, out, column.ctype)
+
+
+def impute_table(
+    table: Table, rng: np.random.Generator | None = None, seed: int = 0
+) -> Table:
+    """Impute every column of a table (median / uniform random sampling)."""
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    columns = []
+    for col in table.columns():
+        if col.ctype is CATEGORICAL:
+            columns.append(impute_categorical_random(col, rng))
+        else:
+            columns.append(impute_numeric_median(col))
+    return Table(columns, name=table.name)
+
+
+def missing_fraction(table: Table) -> dict[str, float]:
+    """Per-column fraction of missing values."""
+    n = max(table.num_rows, 1)
+    return {col.name: col.null_count() / n for col in table.columns()}

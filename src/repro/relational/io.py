@@ -1,0 +1,80 @@
+"""CSV input/output for tables, with simple type inference."""
+
+from __future__ import annotations
+
+import csv
+import datetime as _dt
+from pathlib import Path
+
+import numpy as np
+
+from repro.relational.column import Column
+from repro.relational.schema import CATEGORICAL, DATETIME, NUMERIC, ColumnType
+from repro.relational.table import Table
+
+_MISSING_TOKENS = {"", "na", "n/a", "nan", "null", "none"}
+
+
+def _parse_cell(raw: str):
+    """Parse one CSV cell into None, float, datetime or string."""
+    stripped = raw.strip()
+    if stripped.lower() in _MISSING_TOKENS:
+        return None
+    try:
+        return float(stripped)
+    except ValueError:
+        pass
+    try:
+        return _dt.datetime.fromisoformat(stripped)
+    except ValueError:
+        pass
+    return stripped
+
+
+def read_csv(path: str | Path, name: str = "") -> Table:
+    """Read a CSV file with a header row into a Table.
+
+    Cell values are parsed as floats, ISO datetimes or strings; empty cells and
+    common NA tokens become missing values.  Column types are inferred from the
+    parsed values.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        return Table([], name=name or path.stem)
+    header = rows[0]
+    data: dict[str, list] = {col: [] for col in header}
+    for raw_row in rows[1:]:
+        for col, raw in zip(header, raw_row):
+            data[col].append(_parse_cell(raw))
+        for col in header[len(raw_row):]:
+            data[col].append(None)
+    return Table.from_dict(data, name=name or path.stem)
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a table to CSV (datetimes as ISO strings, missing values empty)."""
+    path = Path(path)
+    columns = table.columns()
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([col.name for col in columns])
+        for i in range(table.num_rows):
+            row = []
+            for col in columns:
+                value = col.values[i]
+                row.append(_format_cell(value, col.ctype))
+            writer.writerow(row)
+
+
+def _format_cell(value, ctype: ColumnType) -> str:
+    """Format one value for CSV output."""
+    if ctype is CATEGORICAL:
+        return "" if value is None else str(value)
+    if isinstance(value, float) and np.isnan(value):
+        return ""
+    if ctype is DATETIME:
+        return (_dt.datetime(1970, 1, 1) + _dt.timedelta(seconds=float(value))).isoformat()
+    return repr(float(value))

@@ -1,0 +1,141 @@
+"""Hash LEFT joins on hard keys.
+
+Only LEFT joins are implemented because they are the only join type suitable
+for data augmentation: every base-table row (training example) is preserved and
+unmatched rows get NULLs, which are later imputed (paper section 4, "Joins").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.relational.aggregate import group_by_aggregate, is_unique_on
+from repro.relational.column import Column
+from repro.relational.schema import CATEGORICAL
+from repro.relational.table import Table
+
+
+def _key_tuple(columns: Sequence[Column], index: int) -> tuple:
+    """Hashable key tuple for one row (missing values collapse to None)."""
+    parts = []
+    for col in columns:
+        value = col.values[index]
+        if col.ctype is CATEGORICAL:
+            parts.append(value)
+        else:
+            parts.append(None if np.isnan(value) else float(value))
+    return tuple(parts)
+
+
+def _build_hash_index(columns: Sequence[Column]) -> dict[tuple, int]:
+    """Map each key tuple to the first row index where it appears."""
+    index: dict[tuple, int] = {}
+    n = len(columns[0]) if columns else 0
+    for i in range(n):
+        key = _key_tuple(columns, i)
+        if None in key:
+            continue
+        if key not in index:
+            index[key] = i
+    return index
+
+
+def left_join(
+    left: Table,
+    right: Table,
+    on: Sequence[tuple[str, str]],
+    suffix: str = "_r",
+    aggregate_duplicates: bool = True,
+    numeric_agg: str = "mean",
+    categorical_agg: str = "mode",
+) -> Table:
+    """LEFT-join ``right`` onto ``left`` on the given key pairs.
+
+    ``on`` is a sequence of ``(left_column, right_column)`` pairs (composite
+    keys are supported by passing more than one pair).  If the right table is
+    not unique on its key columns and ``aggregate_duplicates`` is True, it is
+    first pre-aggregated so the join cannot duplicate base-table rows; if
+    ``aggregate_duplicates`` is False the first matching right row wins.
+
+    The right key columns themselves are not copied into the output (the left
+    key already carries that information).  Other right columns that clash
+    with left column names get ``suffix`` appended.
+    """
+    if not on:
+        raise ValueError("left_join requires at least one key pair")
+    left_keys = [pair[0] for pair in on]
+    right_keys = [pair[1] for pair in on]
+    for key in left_keys:
+        left.column(key)
+    for key in right_keys:
+        right.column(key)
+
+    if aggregate_duplicates and right.num_rows and not is_unique_on(right, right_keys):
+        right = group_by_aggregate(
+            right, right_keys, numeric_agg=numeric_agg, categorical_agg=categorical_agg
+        )
+
+    right_key_columns = [right.column(k) for k in right_keys]
+    hash_index = _build_hash_index(right_key_columns)
+
+    left_key_columns = [left.column(k) for k in left_keys]
+    n = left.num_rows
+    match_index = np.full(n, -1, dtype=np.int64)
+    for i in range(n):
+        key = _key_tuple(left_key_columns, i)
+        if None in key:
+            continue
+        match_index[i] = hash_index.get(key, -1)
+    matched = match_index >= 0
+
+    out_columns = list(left.columns())
+    existing = set(left.column_names)
+    right_key_set = set(right_keys)
+    for col in right.columns():
+        if col.name in right_key_set:
+            continue
+        name = col.name
+        while name in existing:
+            name = name + suffix
+        existing.add(name)
+        out_columns.append(_gather_right_column(col, name, match_index, matched))
+    return Table(out_columns, name=left.name)
+
+
+def _gather_right_column(
+    col: Column, name: str, match_index: np.ndarray, matched: np.ndarray
+) -> Column:
+    """Pull right-table values into left-row order, NULL where unmatched."""
+    n = len(match_index)
+    if col.ctype is CATEGORICAL:
+        out = np.empty(n, dtype=object)
+        out[:] = None
+        if matched.any():
+            out[matched] = col.values[match_index[matched]]
+        return Column.from_array(name, out, col.ctype)
+    out = np.full(n, np.nan, dtype=np.float64)
+    if matched.any():
+        out[matched] = col.values[match_index[matched]]
+    return Column.from_array(name, out, col.ctype)
+
+
+def join_match_fraction(
+    left: Table, right: Table, on: Sequence[tuple[str, str]]
+) -> float:
+    """Fraction of left rows whose key tuple appears in the right table.
+
+    Used by the join-discovery scorer as a cheap intersection score.
+    """
+    if not on or left.num_rows == 0:
+        return 0.0
+    right_key_columns = [right.column(pair[1]) for pair in on]
+    keys = set(_build_hash_index(right_key_columns))
+    left_key_columns = [left.column(pair[0]) for pair in on]
+    hits = 0
+    for i in range(left.num_rows):
+        key = _key_tuple(left_key_columns, i)
+        if None not in key and key in keys:
+            hits += 1
+    return hits / left.num_rows

@@ -1,0 +1,116 @@
+"""Time resampling for joins between tables of different time granularity.
+
+The paper's example: the base table carries day-level timestamps while the
+foreign weather table carries minute-level timestamps.  ARDA identifies the
+coarser granularity, truncates the finer table's key to it and aggregates all
+rows that fall into the same bucket before joining (section 4,
+"Time-Resampling").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.relational.aggregate import group_by_aggregate
+from repro.relational.column import Column
+from repro.relational.schema import DATETIME
+from repro.relational.table import Table
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+
+_GRANULARITIES: tuple[tuple[str, float], ...] = (
+    ("second", SECOND),
+    ("minute", MINUTE),
+    ("hour", HOUR),
+    ("day", DAY),
+    ("week", WEEK),
+)
+
+
+def granularity_seconds(name_or_seconds: str | float) -> float:
+    """Resolve a granularity given by name ('hour') or in seconds."""
+    if isinstance(name_or_seconds, (int, float)):
+        if name_or_seconds <= 0:
+            raise ValueError("granularity must be positive")
+        return float(name_or_seconds)
+    for name, seconds in _GRANULARITIES:
+        if name == name_or_seconds:
+            return seconds
+    raise ValueError(
+        f"unknown granularity {name_or_seconds!r}; "
+        f"expected one of {[n for n, _ in _GRANULARITIES]} or seconds"
+    )
+
+
+def infer_granularity(values: np.ndarray) -> float:
+    """Infer the time granularity (in seconds) of a timestamp column.
+
+    The granularity is the coarsest named bucket such that every non-missing
+    timestamp is a multiple of it.  Falls back to one second.
+    """
+    valid = values[~np.isnan(values)]
+    if len(valid) == 0:
+        return SECOND
+    for name, seconds in reversed(_GRANULARITIES):
+        if np.allclose(np.mod(valid, seconds), 0.0, atol=1e-6):
+            return seconds
+    return SECOND
+
+
+def truncate_to_granularity(values: np.ndarray, granularity: float) -> np.ndarray:
+    """Floor timestamps to multiples of ``granularity`` (NaNs pass through)."""
+    out = np.floor(values / granularity) * granularity
+    return out
+
+
+def resample_to_granularity(
+    table: Table,
+    time_key: str,
+    granularity: str | float,
+    numeric_agg: str = "mean",
+    categorical_agg: str = "mode",
+) -> Table:
+    """Aggregate a table so its time key is unique at the given granularity.
+
+    The time key is truncated (floored) to the granularity and every group of
+    rows sharing a truncated timestamp is aggregated into one row.
+    """
+    seconds = granularity_seconds(granularity)
+    col = table.column(time_key)
+    truncated = truncate_to_granularity(col.values.astype(np.float64), seconds)
+    resampled = table.with_column(Column.from_array(time_key, truncated, col.ctype))
+    return group_by_aggregate(
+        resampled, [time_key], numeric_agg=numeric_agg, categorical_agg=categorical_agg
+    )
+
+
+def align_time_granularity(
+    base: Table,
+    foreign: Table,
+    base_key: str,
+    foreign_key: str,
+    numeric_agg: str = "mean",
+    categorical_agg: str = "mode",
+) -> Table:
+    """Resample the foreign table to match the base table's time granularity.
+
+    If the foreign key is already at the base granularity or coarser, the
+    foreign table is returned unchanged (a copy is not made).
+    """
+    base_gran = infer_granularity(base.column(base_key).values)
+    foreign_gran = infer_granularity(foreign.column(foreign_key).values)
+    if foreign_gran >= base_gran:
+        return foreign
+    return resample_to_granularity(
+        foreign,
+        foreign_key,
+        base_gran,
+        numeric_agg=numeric_agg,
+        categorical_agg=categorical_agg,
+    )

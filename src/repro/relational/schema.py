@@ -1,0 +1,82 @@
+"""Column types and table schemas.
+
+The engine supports four logical column types.  Numeric, datetime and boolean
+columns are stored as ``float64`` arrays (datetimes as epoch seconds, booleans
+as 0.0/1.0) with ``NaN`` marking missing values.  Categorical columns are
+stored as object arrays of strings with ``None`` marking missing values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ColumnType(enum.Enum):
+    """Logical type of a column."""
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+    DATETIME = "datetime"
+    BOOLEAN = "boolean"
+
+    @property
+    def is_float_backed(self) -> bool:
+        """Whether values of this type are stored in a float64 array."""
+        return self is not ColumnType.CATEGORICAL
+
+
+NUMERIC = ColumnType.NUMERIC
+CATEGORICAL = ColumnType.CATEGORICAL
+DATETIME = ColumnType.DATETIME
+BOOLEAN = ColumnType.BOOLEAN
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Name and type of one column."""
+
+    name: str
+    ctype: ColumnType
+
+
+class Schema:
+    """Ordered mapping from column names to column types."""
+
+    def __init__(self, specs: list[ColumnSpec] | None = None):
+        self._specs: list[ColumnSpec] = list(specs or [])
+        self._by_name = {spec.name: spec for spec in self._specs}
+        if len(self._by_name) != len(self._specs):
+            raise ValueError("duplicate column names in schema")
+
+    @classmethod
+    def from_pairs(cls, pairs: list[tuple[str, ColumnType]]) -> "Schema":
+        """Build a schema from ``(name, type)`` pairs."""
+        return cls([ColumnSpec(name, ctype) for name, ctype in pairs])
+
+    @property
+    def names(self) -> list[str]:
+        """Column names in order."""
+        return [spec.name for spec in self._specs]
+
+    def type_of(self, name: str) -> ColumnType:
+        """Return the type of column ``name``."""
+        return self._by_name[name].ctype
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self):
+        return iter(self._specs)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._specs == other._specs
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{s.name}:{s.ctype.value}" for s in self._specs)
+        return f"Schema({inner})"

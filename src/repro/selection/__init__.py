@@ -1,0 +1,159 @@
+"""Feature selection: RIFS and all the baselines the paper compares against.
+
+The :func:`make_selector` / :func:`available_selectors` registry maps the
+method names used in the paper's tables and figures ("RIFS", "random forest",
+"f-test", "forward selection", ...) to configured selector objects, so the
+benchmark harness can sweep them uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.selection.aggregate import (
+    aggregate_rankings,
+    fraction_ahead_of_all_noise,
+    scores_to_normalised_ranks,
+)
+from repro.selection.base import (
+    CLASSIFICATION,
+    REGRESSION,
+    AllFeaturesSelector,
+    FeatureRanker,
+    FeatureSelector,
+    SelectionResult,
+    default_estimator,
+    holdout_score,
+    infer_task,
+)
+from repro.selection.injection import (
+    inject_moment_matched_noise,
+    inject_noise_features,
+    inject_standard_noise,
+)
+from repro.selection.rankers import (
+    LassoRanker,
+    LinearSVCRanker,
+    LogisticRegressionRanker,
+    RandomForestRanker,
+    SparseRegressionRanker,
+)
+from repro.selection.ranking_selector import RankingSelector
+from repro.selection.relief import ReliefRanker
+from repro.selection.rifs import RIFS, NoiseInjectionRankingSelector
+from repro.selection.search import exponential_search, linear_forward_scan
+from repro.selection.statistical import (
+    Chi2Ranker,
+    FTestRanker,
+    MutualInformationRanker,
+    PearsonRanker,
+)
+from repro.selection.tuple_ratio import TupleRatioFilter, tuple_ratio
+from repro.selection.wrappers import (
+    BackwardElimination,
+    ForwardSelection,
+    RecursiveFeatureElimination,
+)
+
+__all__ = [
+    "CLASSIFICATION",
+    "REGRESSION",
+    "AllFeaturesSelector",
+    "FeatureRanker",
+    "FeatureSelector",
+    "SelectionResult",
+    "default_estimator",
+    "holdout_score",
+    "infer_task",
+    "RIFS",
+    "NoiseInjectionRankingSelector",
+    "RankingSelector",
+    "RandomForestRanker",
+    "SparseRegressionRanker",
+    "LassoRanker",
+    "LogisticRegressionRanker",
+    "LinearSVCRanker",
+    "ReliefRanker",
+    "FTestRanker",
+    "MutualInformationRanker",
+    "PearsonRanker",
+    "Chi2Ranker",
+    "ForwardSelection",
+    "BackwardElimination",
+    "RecursiveFeatureElimination",
+    "TupleRatioFilter",
+    "tuple_ratio",
+    "exponential_search",
+    "linear_forward_scan",
+    "aggregate_rankings",
+    "fraction_ahead_of_all_noise",
+    "scores_to_normalised_ranks",
+    "inject_noise_features",
+    "inject_standard_noise",
+    "inject_moment_matched_noise",
+    "make_selector",
+    "available_selectors",
+]
+
+# names match the method labels in the paper's tables and figures
+_CLASSIFICATION_ONLY = {"linear svc", "logistic reg"}
+_REGRESSION_ONLY = {"lasso"}
+
+
+def available_selectors(task: str, include_wrappers: bool = True) -> list[str]:
+    """Names of selectors applicable to the given task (paper-table labels)."""
+    names = [
+        "RIFS",
+        "random forest",
+        "sparse regression",
+        "f-test",
+        "mutual info",
+        "relief",
+        "lasso",
+        "linear svc",
+        "logistic reg",
+        "all features",
+    ]
+    if include_wrappers:
+        names.extend(["forward selection", "backward selection", "rfe"])
+    if task == CLASSIFICATION:
+        names = [n for n in names if n not in _REGRESSION_ONLY]
+    else:
+        names = [n for n in names if n not in _CLASSIFICATION_ONLY]
+    return names
+
+
+def make_selector(name: str, random_state: int = 0, **overrides) -> FeatureSelector:
+    """Build a configured selector from its paper-table label.
+
+    ``overrides`` are forwarded to the selector constructor (e.g.
+    ``n_rounds=5`` for RIFS).
+    """
+    key = name.strip().lower()
+    if key == "rifs":
+        return RIFS(random_state=random_state, **overrides)
+    if key == "all features":
+        return AllFeaturesSelector()
+    if key == "forward selection":
+        return ForwardSelection(random_state=random_state, **overrides)
+    if key in ("backward selection", "backward elimination"):
+        return BackwardElimination(random_state=random_state, **overrides)
+    if key == "rfe":
+        return RecursiveFeatureElimination(random_state=random_state, **overrides)
+    ranker_factories = {
+        "random forest": lambda: RandomForestRanker(random_state=random_state),
+        "sparse regression": SparseRegressionRanker,
+        "f-test": FTestRanker,
+        "mutual info": MutualInformationRanker,
+        "relief": lambda: ReliefRanker(random_state=random_state),
+        "lasso": LassoRanker,
+        "linear svc": LinearSVCRanker,
+        "logistic reg": LogisticRegressionRanker,
+        "pearson": PearsonRanker,
+        "chi2": Chi2Ranker,
+    }
+    factory = ranker_factories.get(key)
+    if factory is None:
+        raise ValueError(f"unknown selector {name!r}")
+    ranker = factory()
+    for attr, value in overrides.items():
+        setattr(ranker, attr, value)
+    return RankingSelector(ranker, name=name, random_state=random_state)

@@ -1,0 +1,79 @@
+"""Ranking aggregation for the RIFS ensemble (section 6.3).
+
+The Random-Forest and Sparse-Regression rankings are combined into one
+aggregate ranking parameterised by ``nu`` (RF weight ``nu``, SR weight
+``1 - nu``).  Scores from each ranker are first converted to normalised ranks
+so that the two scales are comparable before mixing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def scores_to_normalised_ranks(scores: np.ndarray) -> np.ndarray:
+    """Convert raw scores to [0, 1] where 1 means the best-scored feature.
+
+    Ties share the average of their rank positions, so constant score vectors
+    map to a constant 0.5.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    d = len(scores)
+    if d == 0:
+        return scores.copy()
+    if d == 1:
+        return np.ones(1)
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(d, dtype=np.float64)
+    ranks[order] = np.arange(d, dtype=np.float64)
+    # average tied ranks
+    unique_scores = np.unique(scores)
+    if len(unique_scores) < d:
+        for value in unique_scores:
+            mask = scores == value
+            ranks[mask] = ranks[mask].mean()
+    return ranks / (d - 1)
+
+
+def aggregate_rankings(
+    score_vectors: list[np.ndarray], weights: list[float] | None = None
+) -> np.ndarray:
+    """Weighted average of normalised-rank vectors (higher = better)."""
+    if not score_vectors:
+        raise ValueError("at least one score vector is required")
+    d = len(score_vectors[0])
+    for scores in score_vectors:
+        if len(scores) != d:
+            raise ValueError("score vectors have inconsistent lengths")
+    if weights is None:
+        weights = [1.0] * len(score_vectors)
+    if len(weights) != len(score_vectors):
+        raise ValueError("weights and score vectors have different lengths")
+    total_weight = float(sum(weights))
+    if total_weight <= 0:
+        raise ValueError("weights must sum to a positive value")
+    combined = np.zeros(d, dtype=np.float64)
+    for scores, weight in zip(score_vectors, weights):
+        combined += weight * scores_to_normalised_ranks(scores)
+    return combined / total_weight
+
+
+def fraction_ahead_of_all_noise(
+    aggregate_scores: np.ndarray, noise_mask: np.ndarray
+) -> np.ndarray:
+    """For each real feature, 1.0 if it out-ranks every injected noise feature.
+
+    This is the per-experiment indicator that RIFS averages over its ``k``
+    injection rounds (Algorithm 1, step 3).  Returns a vector over the real
+    (non-noise) features only, in their original order.
+    """
+    aggregate_scores = np.asarray(aggregate_scores, dtype=np.float64)
+    noise_mask = np.asarray(noise_mask, dtype=bool)
+    if len(aggregate_scores) != len(noise_mask):
+        raise ValueError("scores and noise mask have different lengths")
+    noise_scores = aggregate_scores[noise_mask]
+    real_scores = aggregate_scores[~noise_mask]
+    if len(noise_scores) == 0:
+        return np.ones(len(real_scores))
+    best_noise = noise_scores.max()
+    return (real_scores > best_noise).astype(np.float64)

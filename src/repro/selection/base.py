@@ -1,0 +1,152 @@
+"""Common interfaces for feature rankers and feature selectors.
+
+Two abstractions are used throughout:
+
+* A **ranker** scores every feature (higher = more useful) without committing
+  to a subset; rankers are what RIFS combines into its ensemble.
+* A **selector** returns a concrete subset of feature indices, typically by
+  running a search procedure (exponential search, forward selection, RIFS'
+  threshold wrapper) over a ranking and a holdout score.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.metrics import accuracy_score, r2_score
+from repro.ml.model_selection import train_test_split
+
+CLASSIFICATION = "classification"
+REGRESSION = "regression"
+
+
+def infer_task(y: np.ndarray, max_classes: int = 20) -> str:
+    """Guess whether a target is a classification or a regression target.
+
+    A target is treated as classification when it has few distinct values and
+    all of them are (close to) integers.
+    """
+    y = np.asarray(y, dtype=np.float64).ravel()
+    distinct = np.unique(y[~np.isnan(y)])
+    if len(distinct) <= max_classes and np.allclose(distinct, np.round(distinct)):
+        return CLASSIFICATION
+    return REGRESSION
+
+
+def default_estimator(task: str, random_state: int = 0, n_estimators: int = 20) -> BaseEstimator:
+    """The lightly auto-optimised Random Forest the paper uses as its estimator."""
+    if task == CLASSIFICATION:
+        return RandomForestClassifier(
+            n_estimators=n_estimators, max_depth=10, random_state=random_state
+        )
+    return RandomForestRegressor(
+        n_estimators=n_estimators, max_depth=10, random_state=random_state
+    )
+
+
+def holdout_score(
+    X: np.ndarray,
+    y: np.ndarray,
+    task: str,
+    estimator: BaseEstimator | None = None,
+    test_size: float = 0.25,
+    random_state: int = 0,
+) -> float:
+    """Train on a split and score on the holdout (higher is better).
+
+    Classification uses accuracy; regression uses R^2 so that both tasks share
+    a "higher is better" orientation, which the search procedures rely on.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if X.shape[1] == 0:
+        return -np.inf
+    estimator = estimator if estimator is not None else default_estimator(task)
+    stratify = y if task == CLASSIFICATION else None
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, y, test_size=test_size, random_state=random_state, stratify=stratify
+    )
+    model = clone(estimator)
+    model.fit(X_train, y_train)
+    predictions = model.predict(X_test)
+    if task == CLASSIFICATION:
+        return accuracy_score(y_test, predictions)
+    return r2_score(y_test, predictions)
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of running a feature selector."""
+
+    selected: np.ndarray
+    scores: np.ndarray | None = None
+    elapsed: float = 0.0
+    method: str = ""
+    details: dict = field(default_factory=dict)
+
+    @property
+    def num_selected(self) -> int:
+        """Number of selected features."""
+        return len(self.selected)
+
+    def selected_names(self, feature_names: Sequence[str]) -> list[str]:
+        """Map selected indices back to feature names."""
+        return [feature_names[i] for i in self.selected]
+
+
+class FeatureRanker:
+    """Base class for feature rankers: ``score_features`` returns one score per feature."""
+
+    name = "ranker"
+
+    def score_features(self, X: np.ndarray, y: np.ndarray, task: str) -> np.ndarray:
+        """Per-feature usefulness scores; higher means more useful."""
+        raise NotImplementedError
+
+    def rank(self, X: np.ndarray, y: np.ndarray, task: str) -> np.ndarray:
+        """Feature indices ordered from most to least useful."""
+        scores = self.score_features(X, y, task)
+        return np.argsort(-scores, kind="stable")
+
+
+class FeatureSelector:
+    """Base class for feature selectors: ``select`` returns a SelectionResult."""
+
+    name = "selector"
+
+    def select(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        task: str | None = None,
+        estimator: BaseEstimator | None = None,
+    ) -> SelectionResult:
+        """Choose a subset of feature indices for the given supervised task."""
+        raise NotImplementedError
+
+    def _timed(self, fn: Callable[[], SelectionResult]) -> SelectionResult:
+        """Run ``fn`` and stamp the elapsed wall time and method name."""
+        start = time.perf_counter()
+        result = fn()
+        result.elapsed = time.perf_counter() - start
+        result.method = self.name
+        return result
+
+
+class AllFeaturesSelector(FeatureSelector):
+    """Baseline selector that keeps every feature (the paper's "all features")."""
+
+    name = "all features"
+
+    def select(self, X, y, task=None, estimator=None) -> SelectionResult:
+        """Return every feature index."""
+        X = np.asarray(X)
+        return self._timed(
+            lambda: SelectionResult(selected=np.arange(X.shape[1]), scores=None)
+        )

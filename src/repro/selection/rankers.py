@@ -1,0 +1,115 @@
+"""Model-based (embedded) feature rankers.
+
+Each ranker fits a model and converts a fitted quantity — impurity importances,
+row norms, absolute coefficients — into one usefulness score per feature.
+These are both stand-alone baselines (Table 1 / Table 6) and the building
+blocks of the RIFS ranking ensemble.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.linear import Lasso
+from repro.ml.logistic import LogisticRegression
+from repro.ml.sparse_regression import SparseRegression, one_hot_labels
+from repro.ml.svm import LinearSVC
+from repro.selection.base import CLASSIFICATION, FeatureRanker
+
+
+class RandomForestRanker(FeatureRanker):
+    """Impurity-decrease importances from a random forest."""
+
+    name = "random forest"
+
+    def __init__(self, n_estimators: int = 20, max_depth: int = 10, random_state: int = 0):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.random_state = random_state
+
+    def score_features(self, X, y, task) -> np.ndarray:
+        """Normalised impurity-decrease importance per feature."""
+        if task == CLASSIFICATION:
+            model = RandomForestClassifier(
+                n_estimators=self.n_estimators,
+                max_depth=self.max_depth,
+                random_state=self.random_state,
+            )
+        else:
+            model = RandomForestRegressor(
+                n_estimators=self.n_estimators,
+                max_depth=self.max_depth,
+                random_state=self.random_state,
+            )
+        model.fit(X, y)
+        return model.feature_importances_.copy()
+
+
+class SparseRegressionRanker(FeatureRanker):
+    """Row norms of the joint L2,1-norm sparse-regression solution."""
+
+    name = "sparse regression"
+
+    def __init__(self, gamma: float = 1.0, max_iter: int = 30):
+        self.gamma = gamma
+        self.max_iter = max_iter
+
+    def score_features(self, X, y, task) -> np.ndarray:
+        """||W_j||_2 per feature from the fitted weight matrix."""
+        model = SparseRegression(gamma=self.gamma, max_iter=self.max_iter)
+        target = one_hot_labels(y) if task == CLASSIFICATION else np.asarray(y, dtype=np.float64)
+        model.fit(X, target)
+        return model.feature_scores_.copy()
+
+
+class LassoRanker(FeatureRanker):
+    """Absolute lasso coefficients (regression targets only in the paper)."""
+
+    name = "lasso"
+
+    def __init__(self, alpha: float = 0.01, max_iter: int = 200):
+        self.alpha = alpha
+        self.max_iter = max_iter
+
+    def score_features(self, X, y, task) -> np.ndarray:
+        """|coefficient| per feature."""
+        model = Lasso(alpha=self.alpha, max_iter=self.max_iter)
+        model.fit(X, np.asarray(y, dtype=np.float64))
+        return np.abs(model.coef_)
+
+
+class LogisticRegressionRanker(FeatureRanker):
+    """Per-feature maximum absolute logistic-regression coefficient."""
+
+    name = "logistic reg"
+
+    def __init__(self, C: float = 1.0, max_iter: int = 150):
+        self.C = C
+        self.max_iter = max_iter
+
+    def score_features(self, X, y, task) -> np.ndarray:
+        """max_c |coef_{c,j}| per feature (classification only)."""
+        if task != CLASSIFICATION:
+            raise ValueError("logistic regression ranking requires a classification task")
+        model = LogisticRegression(C=self.C, max_iter=self.max_iter)
+        model.fit(X, y)
+        return np.max(np.abs(model.coef_), axis=0)
+
+
+class LinearSVCRanker(FeatureRanker):
+    """Per-feature maximum absolute linear-SVM coefficient."""
+
+    name = "linear svc"
+
+    def __init__(self, C: float = 1.0, max_iter: int = 150):
+        self.C = C
+        self.max_iter = max_iter
+
+    def score_features(self, X, y, task) -> np.ndarray:
+        """max_c |coef_{c,j}| per feature (classification only)."""
+        if task != CLASSIFICATION:
+            raise ValueError("linear SVC ranking requires a classification task")
+        model = LinearSVC(C=self.C, max_iter=self.max_iter)
+        model.fit(X, y)
+        return np.max(np.abs(model.coef_), axis=0)

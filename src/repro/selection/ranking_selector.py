@@ -1,0 +1,49 @@
+"""Selector that combines any ranker with the exponential subset-size search.
+
+This is how the paper turns pure rankers (random forest, sparse regression,
+mutual information, lasso, relief, linear SVC, logistic regression, F-test)
+into selectors: rank all features, then pick a prefix with repeated doubling
+plus binary search (section 7, "Methods such as ... return ranking that we use
+to select features using repetitive doubling and binary search").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.selection.base import (
+    FeatureRanker,
+    FeatureSelector,
+    SelectionResult,
+    infer_task,
+)
+from repro.selection.search import exponential_search
+
+
+class RankingSelector(FeatureSelector):
+    """Rank features with ``ranker`` and choose a prefix by exponential search."""
+
+    def __init__(self, ranker: FeatureRanker, name: str | None = None, random_state: int = 0):
+        self.ranker = ranker
+        self.name = name or ranker.name
+        self.random_state = random_state
+
+    def select(self, X, y, task=None, estimator=None) -> SelectionResult:
+        """Run the ranker then the exponential search over prefix sizes."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        task = task or infer_task(y)
+
+        def run() -> SelectionResult:
+            scores = self.ranker.score_features(X, y, task)
+            ranking = np.argsort(-scores, kind="stable")
+            selected, trace = exponential_search(
+                X, y, ranking, task, estimator=estimator, random_state=self.random_state
+            )
+            return SelectionResult(
+                selected=np.sort(selected),
+                scores=scores,
+                details={"search_sizes": trace.sizes, "search_scores": trace.scores},
+            )
+
+        return self._timed(run)

@@ -1,0 +1,221 @@
+"""RIFS — Random Injection Feature Selection (Algorithms 1-3 of the paper).
+
+RIFS decides whether features produced by candidate joins carry signal by
+comparing them against injected random features:
+
+1. **Algorithm 2 / injection** — append ``eta * d`` random feature columns
+   (moment-matched Gaussian by default) to the data matrix.
+2. **Algorithm 1 / scoring** — rank the combined matrix with an ensemble of a
+   Random-Forest ranker and a Sparse-Regression (L2,1) ranker, repeat ``k``
+   times with fresh noise, and record for each real feature the fraction of
+   rounds in which it out-ranked *every* injected noise feature.
+3. **Algorithm 3 / threshold wrapper** — sweep a set of thresholds ``tau`` in
+   increasing order, keep the features whose fraction is at least ``tau``, and
+   stop as soon as the holdout score stops improving (the previous subset is
+   returned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+from repro.selection.aggregate import aggregate_rankings, fraction_ahead_of_all_noise
+from repro.selection.base import (
+    FeatureRanker,
+    FeatureSelector,
+    SelectionResult,
+    holdout_score,
+    infer_task,
+)
+from repro.selection.injection import inject_noise_features
+from repro.selection.rankers import RandomForestRanker, SparseRegressionRanker
+
+DEFAULT_THRESHOLDS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@dataclass
+class RIFSDiagnostics:
+    """Intermediate quantities exposed for inspection and testing."""
+
+    noise_beat_fraction: np.ndarray | None = None
+    thresholds_tried: list[float] = field(default_factory=list)
+    threshold_scores: list[float] = field(default_factory=list)
+    chosen_threshold: float | None = None
+    rounds: int = 0
+
+
+class RIFS(FeatureSelector):
+    """Random-injection feature selection.
+
+    Parameters
+    ----------
+    eta:
+        Fraction of random features to inject relative to the number of real
+        features (the paper uses 0.2).
+    n_rounds:
+        Number of injection rounds ``k`` (the paper uses 10).
+    nu:
+        Weight of the Random-Forest ranking in the aggregate (Sparse
+        Regression gets ``1 - nu``).
+    thresholds:
+        Increasing thresholds ``tau`` swept by the wrapper (Algorithm 3).
+    injection_strategy:
+        ``"moment_matched"`` (Algorithm 2) or ``"standard"`` distributions.
+    """
+
+    name = "RIFS"
+
+    def __init__(
+        self,
+        eta: float = 0.2,
+        n_rounds: int = 10,
+        nu: float = 0.5,
+        thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS,
+        injection_strategy: str = "moment_matched",
+        rankers: list[FeatureRanker] | None = None,
+        random_state: int = 0,
+        min_keep: int = 1,
+    ):
+        if not 0 <= nu <= 1:
+            raise ValueError("nu must be in [0, 1]")
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be at least 1")
+        self.eta = eta
+        self.n_rounds = n_rounds
+        self.nu = nu
+        self.thresholds = tuple(sorted(thresholds))
+        self.injection_strategy = injection_strategy
+        self.rankers = rankers
+        self.random_state = random_state
+        self.min_keep = min_keep
+        self.diagnostics_: RIFSDiagnostics | None = None
+
+    # -- Algorithm 1: noise-beat fractions -------------------------------------
+
+    def noise_beat_fractions(
+        self, X: np.ndarray, y: np.ndarray, task: str
+    ) -> np.ndarray:
+        """Fraction of rounds each real feature out-ranks all injected noise."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        rng = np.random.default_rng(self.random_state)
+        rankers, weights = self._resolve_rankers(task)
+        d = X.shape[1]
+        totals = np.zeros(d, dtype=np.float64)
+        for round_index in range(self.n_rounds):
+            augmented, noise_mask = inject_noise_features(
+                X, fraction=self.eta, strategy=self.injection_strategy, rng=rng
+            )
+            score_vectors = []
+            for ranker in rankers:
+                if hasattr(ranker, "random_state"):
+                    ranker.random_state = int(rng.integers(0, 2**31 - 1))
+                score_vectors.append(ranker.score_features(augmented, y, task))
+            aggregate = aggregate_rankings(score_vectors, weights)
+            totals += fraction_ahead_of_all_noise(aggregate, noise_mask)
+        return totals / self.n_rounds
+
+    def _resolve_rankers(self, task: str) -> tuple[list[FeatureRanker], list[float]]:
+        if self.rankers is not None:
+            return list(self.rankers), [1.0] * len(self.rankers)
+        return (
+            [RandomForestRanker(random_state=self.random_state), SparseRegressionRanker()],
+            [self.nu, 1.0 - self.nu],
+        )
+
+    # -- Algorithm 3: threshold wrapper ------------------------------------------
+
+    def select(self, X, y, task=None, estimator=None) -> SelectionResult:
+        """Run the full RIFS procedure and return the selected feature indices."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        task = task or infer_task(y)
+
+        def run() -> SelectionResult:
+            diagnostics = RIFSDiagnostics(rounds=self.n_rounds)
+            fractions = self.noise_beat_fractions(X, y, task)
+            diagnostics.noise_beat_fraction = fractions
+
+            best_subset: np.ndarray | None = None
+            best_score = -np.inf
+            previous_score = -np.inf
+            for tau in self.thresholds:
+                subset = np.nonzero(fractions >= tau)[0]
+                if len(subset) < self.min_keep:
+                    break
+                score = holdout_score(
+                    X[:, subset], y, task, estimator=estimator,
+                    random_state=self.random_state,
+                )
+                diagnostics.thresholds_tried.append(tau)
+                diagnostics.threshold_scores.append(score)
+                if score > best_score:
+                    best_score = score
+                    best_subset = subset
+                    diagnostics.chosen_threshold = tau
+                if score < previous_score:
+                    # accuracy stopped increasing monotonically: keep previous subset
+                    break
+                previous_score = score
+            if best_subset is None or len(best_subset) == 0:
+                # fall back to the highest-fraction features so we never return nothing
+                order = np.argsort(-fractions, kind="stable")
+                best_subset = order[: max(self.min_keep, 1)]
+                diagnostics.chosen_threshold = None
+            self.diagnostics_ = diagnostics
+            return SelectionResult(
+                selected=np.sort(best_subset),
+                scores=fractions,
+                details={
+                    "chosen_threshold": diagnostics.chosen_threshold,
+                    "threshold_scores": dict(
+                        zip(diagnostics.thresholds_tried, diagnostics.threshold_scores)
+                    ),
+                },
+            )
+
+        return self._timed(run)
+
+
+class NoiseInjectionRankingSelector(FeatureSelector):
+    """A single-ranker variant of RIFS (e.g. "Random Forest ranker with our noise injection rule").
+
+    Uses one ranker's scores, the same noise-beat-fraction statistic and the
+    same threshold wrapper, but no ensemble.  The paper notes this variant is
+    marginally faster than full RIFS and still achieves augmentation.
+    """
+
+    def __init__(
+        self,
+        ranker: FeatureRanker,
+        name: str | None = None,
+        eta: float = 0.2,
+        n_rounds: int = 5,
+        thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS,
+        injection_strategy: str = "moment_matched",
+        random_state: int = 0,
+    ):
+        self.ranker = ranker
+        self.name = name or f"{ranker.name}+noise"
+        self.eta = eta
+        self.n_rounds = n_rounds
+        self.thresholds = thresholds
+        self.injection_strategy = injection_strategy
+        self.random_state = random_state
+        self._rifs = RIFS(
+            eta=eta,
+            n_rounds=n_rounds,
+            thresholds=thresholds,
+            injection_strategy=injection_strategy,
+            rankers=[ranker],
+            random_state=random_state,
+        )
+
+    def select(self, X, y, task=None, estimator=None) -> SelectionResult:
+        """Delegate to a single-ranker RIFS instance."""
+        result = self._rifs.select(X, y, task=task, estimator=estimator)
+        result.method = self.name
+        return result

@@ -1,0 +1,184 @@
+"""Filter-style statistical feature scores: F-test, mutual information, chi-squared, Pearson.
+
+These are the "filter model" selectors the paper compares against (section 5):
+they look only at marginal feature/target statistics, which makes them fast but
+blind to interactions and vulnerable to spuriously correlated noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.selection.base import CLASSIFICATION, FeatureRanker
+
+
+def pearson_scores(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Absolute Pearson correlation of each feature with the target."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    Xc = X - X.mean(axis=0)
+    yc = y - y.mean()
+    x_std = Xc.std(axis=0)
+    y_std = yc.std()
+    denom = x_std * y_std
+    with np.errstate(invalid="ignore", divide="ignore"):
+        correlations = (Xc * yc[:, None]).mean(axis=0) / denom
+    correlations[~np.isfinite(correlations)] = 0.0
+    return np.abs(correlations)
+
+
+def f_regression_scores(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Univariate F statistic of regressing the target on each feature."""
+    n = X.shape[0]
+    correlations = pearson_scores(X, y)
+    correlations = np.clip(correlations, 0.0, 1.0 - 1e-12)
+    dof = max(n - 2, 1)
+    return correlations**2 / (1.0 - correlations**2) * dof
+
+
+def f_classification_scores(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """One-way ANOVA F statistic of each feature grouped by class."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y).ravel()
+    classes = np.unique(y)
+    n, d = X.shape
+    if len(classes) < 2:
+        return np.zeros(d)
+    overall_mean = X.mean(axis=0)
+    between = np.zeros(d)
+    within = np.zeros(d)
+    for cls in classes:
+        members = X[y == cls]
+        size = members.shape[0]
+        if size == 0:
+            continue
+        class_mean = members.mean(axis=0)
+        between += size * (class_mean - overall_mean) ** 2
+        within += ((members - class_mean) ** 2).sum(axis=0)
+    df_between = len(classes) - 1
+    df_within = max(n - len(classes), 1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        f = (between / df_between) / (within / df_within)
+    f[~np.isfinite(f)] = 0.0
+    return f
+
+
+def f_test_scores(X: np.ndarray, y: np.ndarray, task: str) -> np.ndarray:
+    """Task-appropriate F statistic per feature."""
+    if task == CLASSIFICATION:
+        return f_classification_scores(X, y)
+    return f_regression_scores(X, y)
+
+
+def chi2_scores(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Chi-squared statistic between non-negative features and class labels.
+
+    Features are shifted to be non-negative (the statistic expects counts or
+    frequencies); the target must be categorical.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y).ravel()
+    X = X - X.min(axis=0)
+    classes = np.unique(y)
+    observed = np.vstack([X[y == cls].sum(axis=0) for cls in classes])
+    feature_totals = observed.sum(axis=0)
+    class_totals = observed.sum(axis=1)
+    grand_total = feature_totals.sum()
+    if grand_total == 0:
+        return np.zeros(X.shape[1])
+    expected = np.outer(class_totals, feature_totals) / grand_total
+    with np.errstate(invalid="ignore", divide="ignore"):
+        chi2 = ((observed - expected) ** 2 / expected).sum(axis=0)
+    chi2[~np.isfinite(chi2)] = 0.0
+    return chi2
+
+
+def _discretize(values: np.ndarray, bins: int) -> np.ndarray:
+    """Equal-frequency discretisation of a continuous vector into integer codes."""
+    quantiles = np.quantile(values, np.linspace(0, 1, bins + 1)[1:-1])
+    return np.searchsorted(quantiles, values, side="right")
+
+
+def mutual_information_scores(
+    X: np.ndarray, y: np.ndarray, task: str, bins: int = 10
+) -> np.ndarray:
+    """Histogram-based mutual information between each feature and the target.
+
+    Continuous features (and regression targets) are discretised into
+    equal-frequency bins; the MI estimate is the plug-in estimate on the joint
+    histogram.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if task == CLASSIFICATION:
+        y_codes = y.astype(np.int64)
+    else:
+        y_codes = _discretize(y, bins)
+    n, d = X.shape
+    scores = np.zeros(d)
+    y_values, y_counts = np.unique(y_codes, return_counts=True)
+    p_y = y_counts / n
+    for j in range(d):
+        column = X[:, j]
+        distinct = np.unique(column)
+        if len(distinct) <= bins:
+            x_codes = np.searchsorted(distinct, column)
+        else:
+            x_codes = _discretize(column, bins)
+        x_values, x_counts = np.unique(x_codes, return_counts=True)
+        p_x = x_counts / n
+        mi = 0.0
+        for xi, px in zip(x_values, p_x):
+            mask = x_codes == xi
+            for yi, py in zip(y_values, p_y):
+                joint = np.sum(mask & (y_codes == yi)) / n
+                if joint > 0:
+                    mi += joint * np.log(joint / (px * py))
+        scores[j] = max(mi, 0.0)
+    return scores
+
+
+class FTestRanker(FeatureRanker):
+    """Ranker based on the task-appropriate F statistic."""
+
+    name = "f-test"
+
+    def score_features(self, X, y, task) -> np.ndarray:
+        """F statistic per feature (higher is better)."""
+        return f_test_scores(np.asarray(X, dtype=np.float64), y, task)
+
+
+class MutualInformationRanker(FeatureRanker):
+    """Ranker based on histogram mutual information."""
+
+    name = "mutual info"
+
+    def __init__(self, bins: int = 10):
+        self.bins = bins
+
+    def score_features(self, X, y, task) -> np.ndarray:
+        """Mutual information per feature (higher is better)."""
+        return mutual_information_scores(X, y, task, bins=self.bins)
+
+
+class PearsonRanker(FeatureRanker):
+    """Ranker based on absolute Pearson correlation with the target."""
+
+    name = "pearson"
+
+    def score_features(self, X, y, task) -> np.ndarray:
+        """Absolute correlation per feature."""
+        return pearson_scores(np.asarray(X, dtype=np.float64), y)
+
+
+class Chi2Ranker(FeatureRanker):
+    """Ranker based on the chi-squared statistic (classification only)."""
+
+    name = "chi2"
+
+    def score_features(self, X, y, task) -> np.ndarray:
+        """Chi-squared statistic per feature."""
+        if task != CLASSIFICATION:
+            raise ValueError("chi-squared scores require a classification task")
+        return chi2_scores(X, y)

@@ -1,0 +1,201 @@
+"""Wrapper-style feature selectors: forward selection, backward elimination, RFE.
+
+Wrapper methods repeatedly retrain the learning model to evaluate candidate
+subsets, which makes them accurate but expensive — in the paper they are the
+slowest selectors by one to two orders of magnitude (Table 1).  Forward and
+backward selection greedily add/remove single features; recursive feature
+elimination (RFE) drops the lowest-ranked fraction of features per round using
+a Random-Forest ranking, then picks the best prefix with exponential search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+from repro.selection.base import (
+    FeatureSelector,
+    SelectionResult,
+    holdout_score,
+    infer_task,
+)
+from repro.selection.rankers import RandomForestRanker
+from repro.selection.search import exponential_search
+
+
+class ForwardSelection(FeatureSelector):
+    """Greedy forward selection evaluated with a holdout score."""
+
+    name = "forward selection"
+
+    def __init__(
+        self,
+        max_features: int | None = None,
+        patience: int = 2,
+        candidate_pool: int | None = 40,
+        random_state: int = 0,
+    ):
+        self.max_features = max_features
+        self.patience = patience
+        self.candidate_pool = candidate_pool
+        self.random_state = random_state
+
+    def select(self, X, y, task=None, estimator=None) -> SelectionResult:
+        """Add the single best feature per round until the score stops improving."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        task = task or infer_task(y)
+
+        def run() -> SelectionResult:
+            d = X.shape[1]
+            limit = self.max_features or d
+            # pre-rank to bound the per-round candidate pool on wide matrices
+            if self.candidate_pool is not None and d > self.candidate_pool:
+                ranker = RandomForestRanker(random_state=self.random_state)
+                order = ranker.rank(X, y, task)[: self.candidate_pool]
+                pool = list(order)
+            else:
+                pool = list(range(d))
+            selected: list[int] = []
+            best_score = -np.inf
+            misses = 0
+            while pool and len(selected) < limit:
+                round_best, round_feature = -np.inf, None
+                for feature in pool:
+                    candidate = selected + [feature]
+                    score = holdout_score(
+                        X[:, candidate], y, task, estimator=estimator,
+                        random_state=self.random_state,
+                    )
+                    if score > round_best:
+                        round_best, round_feature = score, feature
+                if round_feature is None:
+                    break
+                if round_best > best_score:
+                    best_score = round_best
+                    selected.append(round_feature)
+                    pool.remove(round_feature)
+                    misses = 0
+                else:
+                    misses += 1
+                    selected.append(round_feature)
+                    pool.remove(round_feature)
+                    if misses >= self.patience:
+                        selected = selected[: len(selected) - misses]
+                        break
+            if not selected:
+                selected = pool[:1] if pool else [0]
+            return SelectionResult(selected=np.array(selected, dtype=np.int64))
+
+        return self._timed(run)
+
+
+class BackwardElimination(FeatureSelector):
+    """Greedy backward elimination evaluated with a holdout score."""
+
+    name = "backward selection"
+
+    def __init__(
+        self,
+        min_features: int = 1,
+        patience: int = 2,
+        max_rounds: int | None = 60,
+        random_state: int = 0,
+    ):
+        self.min_features = min_features
+        self.patience = patience
+        self.max_rounds = max_rounds
+        self.random_state = random_state
+
+    def select(self, X, y, task=None, estimator=None) -> SelectionResult:
+        """Drop the single least useful feature per round while the score holds up."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        task = task or infer_task(y)
+
+        def run() -> SelectionResult:
+            remaining = list(range(X.shape[1]))
+            best_score = holdout_score(
+                X, y, task, estimator=estimator, random_state=self.random_state
+            )
+            best_subset = list(remaining)
+            misses = 0
+            rounds = 0
+            while len(remaining) > self.min_features:
+                if self.max_rounds is not None and rounds >= self.max_rounds:
+                    break
+                rounds += 1
+                round_best, drop_feature = -np.inf, None
+                for feature in remaining:
+                    candidate = [f for f in remaining if f != feature]
+                    score = holdout_score(
+                        X[:, candidate], y, task, estimator=estimator,
+                        random_state=self.random_state,
+                    )
+                    if score > round_best:
+                        round_best, drop_feature = score, feature
+                if drop_feature is None:
+                    break
+                remaining.remove(drop_feature)
+                if round_best >= best_score:
+                    best_score = round_best
+                    best_subset = list(remaining)
+                    misses = 0
+                else:
+                    misses += 1
+                    if misses >= self.patience:
+                        break
+            return SelectionResult(selected=np.array(best_subset, dtype=np.int64))
+
+        return self._timed(run)
+
+
+class RecursiveFeatureElimination(FeatureSelector):
+    """RFE: repeatedly drop the lowest-ranked fraction of features.
+
+    Uses the Random-Forest ranker (the paper's choice of ranker for RFE) and
+    finishes with an exponential search over the final ranking.
+    """
+
+    name = "rfe"
+
+    def __init__(self, drop_fraction: float = 0.5, min_features: int = 2, random_state: int = 0):
+        if not 0 < drop_fraction < 1:
+            raise ValueError("drop_fraction must be in (0, 1)")
+        self.drop_fraction = drop_fraction
+        self.min_features = min_features
+        self.random_state = random_state
+
+    def select(self, X, y, task=None, estimator=None) -> SelectionResult:
+        """Iteratively re-rank the surviving features and drop the tail."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        task = task or infer_task(y)
+
+        def run() -> SelectionResult:
+            ranker = RandomForestRanker(random_state=self.random_state)
+            surviving = np.arange(X.shape[1])
+            elimination_order: list[int] = []
+            while len(surviving) > self.min_features:
+                ranking = ranker.rank(X[:, surviving], y, task)
+                keep_count = max(
+                    self.min_features,
+                    int(np.ceil(len(surviving) * (1.0 - self.drop_fraction))),
+                )
+                if keep_count >= len(surviving):
+                    break
+                dropped = surviving[ranking[keep_count:]]
+                elimination_order.extend(reversed(list(dropped)))
+                surviving = surviving[np.sort(ranking[:keep_count])]
+            final_ranking = ranker.rank(X[:, surviving], y, task)
+            ordered = list(surviving[final_ranking]) + list(reversed(elimination_order))
+            selected, trace = exponential_search(
+                X, y, np.array(ordered, dtype=np.int64), task,
+                estimator=estimator, random_state=self.random_state,
+            )
+            return SelectionResult(
+                selected=np.sort(selected),
+                details={"search_sizes": trace.sizes, "search_scores": trace.scores},
+            )
+
+        return self._timed(run)

@@ -1,0 +1,156 @@
+"""Tests for the synthetic dataset and micro-benchmark generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    RelationalDatasetBuilder,
+    load_dataset,
+    load_digits,
+    load_kraken,
+    make_micro_benchmark,
+)
+from repro.datasets.synthetic import NoiseTableSpec, SignalTableSpec
+from repro.relational.schema import DATETIME
+from repro.selection.base import CLASSIFICATION, REGRESSION
+
+
+class TestBuilder:
+    def _small_dataset(self, **kwargs):
+        builder = RelationalDatasetBuilder(
+            "toy", n_rows=120, n_entities=40, n_base_features=3, seed=0, **kwargs
+        )
+        builder.add_signal_table(SignalTableSpec("sig", n_signal_columns=2, key="entity"))
+        builder.add_noise_table(NoiseTableSpec("junk", n_columns=3))
+        return builder.build()
+
+    def test_base_table_structure(self):
+        dataset = self._small_dataset()
+        assert dataset.base_table.num_rows == 120
+        assert "target" in dataset.base_table
+        assert "entity_id" in dataset.base_table
+
+    def test_repository_contains_declared_tables(self):
+        dataset = self._small_dataset()
+        assert set(dataset.repository.table_names) == {"sig", "junk"}
+        assert dataset.signal_tables == ["sig"]
+
+    def test_candidates_reference_repository_tables(self):
+        dataset = self._small_dataset()
+        for candidate in dataset.candidates:
+            assert candidate.foreign_table in dataset.repository
+
+    def test_time_key_datasets_have_soft_candidates(self):
+        builder = RelationalDatasetBuilder(
+            "timed", n_rows=100, n_entities=30, with_time_key=True, n_days=50, seed=1
+        )
+        builder.add_signal_table(SignalTableSpec("weather", key="time", fine_grained_time=True))
+        dataset = builder.build()
+        assert dataset.soft_key_columns == ["timestamp"]
+        assert dataset.base_table["timestamp"].ctype is DATETIME
+        assert dataset.candidates[0].is_soft
+
+    def test_classification_target_has_requested_classes(self):
+        builder = RelationalDatasetBuilder(
+            "clf", task="classification", n_classes=3, n_rows=200, n_entities=50, seed=2
+        )
+        builder.add_signal_table(SignalTableSpec("sig"))
+        dataset = builder.build()
+        assert len(np.unique(dataset.base_table["target"].values)) == 3
+
+    def test_seed_reproducibility(self):
+        a = self._small_dataset()
+        b = self._small_dataset()
+        assert a.base_table == b.base_table
+
+    def test_signal_actually_correlates_with_target(self):
+        """Joining the signal table must add predictive power over the base table."""
+        from repro.core.join_execution import join_candidates
+        from repro.relational.encoding import to_design_matrix
+        from repro.relational.imputation import impute_table
+        from repro.selection.base import holdout_score
+
+        dataset = self._small_dataset()
+        X_base, y, _enc = to_design_matrix(
+            impute_table(dataset.base_table), dataset.target
+        )
+        joined, _contributed = join_candidates(
+            dataset.base_table, dataset.repository,
+            [c for c in dataset.candidates if c.foreign_table == "sig"],
+        )
+        X_aug, y_aug, _enc = to_design_matrix(impute_table(joined), dataset.target)
+        assert holdout_score(X_aug, y_aug, REGRESSION) > holdout_score(X_base, y, REGRESSION)
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_all_named_scenarios_build(self, name):
+        dataset = load_dataset(name, scale=0.2)
+        assert dataset.base_table.num_rows > 50
+        assert dataset.num_candidate_tables > 5
+        assert len(dataset.signal_tables) >= 2
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            load_dataset("nope")
+
+    def test_regression_vs_classification_tasks(self):
+        assert load_dataset("taxi", scale=0.2).task == REGRESSION
+        assert load_dataset("school_s", scale=0.2).task == CLASSIFICATION
+
+    def test_school_l_has_more_tables_than_school_s(self):
+        small = load_dataset("school_s", scale=0.2)
+        large = load_dataset("school_l", scale=0.2)
+        assert large.num_candidate_tables > small.num_candidate_tables
+
+    def test_time_datasets_have_soft_keys(self):
+        for name in ("taxi", "pickup"):
+            dataset = load_dataset(name, scale=0.2)
+            assert dataset.soft_key_columns == ["timestamp"]
+
+    def test_summary_fields(self):
+        summary = load_dataset("poverty", scale=0.2).summary()
+        assert summary["task"] == REGRESSION
+        assert summary["candidate_tables"] == summary["signal_tables"] + 36
+
+
+class TestMicroBenchmarks:
+    def test_kraken_shape_and_balance(self):
+        micro = load_kraken(seed=0)
+        assert micro.X.shape == (1000, 12)
+        positives = int(micro.y.sum())
+        assert 380 <= positives <= 480
+
+    def test_kraken_is_learnable(self):
+        from repro.evaluation.evaluator import classification_accuracy
+
+        micro = load_kraken(seed=0)
+        assert classification_accuracy(micro.X, micro.y) > 0.7
+
+    def test_digits_classes_and_shape(self):
+        micro = load_digits(samples_per_class=30)
+        assert micro.X.shape == (300, 64)
+        assert len(np.unique(micro.y)) == 10
+        assert micro.X.min() >= 0.0 and micro.X.max() <= 16.0
+
+    def test_digits_is_learnable(self):
+        from repro.evaluation.evaluator import classification_accuracy
+
+        micro = load_digits(samples_per_class=40, seed=0)
+        assert classification_accuracy(micro.X, micro.y) > 0.6
+
+    def test_noise_injection_multiplies_columns(self):
+        micro = make_micro_benchmark("kraken", noise_factor=10, seed=0)
+        assert micro.X.shape[1] == 12 * 11
+        assert micro.n_real == 12
+        assert micro.n_noise == 120
+
+    def test_noise_mask_marks_original_columns(self):
+        micro = make_micro_benchmark("kraken", noise_factor=2, seed=0)
+        assert micro.real_mask[:12].all()
+        assert not micro.real_mask[12:].any()
+
+    def test_unknown_micro_benchmark(self):
+        with pytest.raises(ValueError):
+            make_micro_benchmark("mnist")

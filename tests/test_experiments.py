@@ -1,0 +1,98 @@
+"""Smoke tests for the experiment harness (tiny configurations of every table/figure)."""
+
+import pytest
+
+from repro.evaluation import experiments
+
+TINY = {"scale": 0.15, "rifs_options": {"n_rounds": 1}}
+
+
+class TestExperimentHarness:
+    def test_figure3_rows_have_expected_methods(self):
+        rows = experiments.experiment_figure3_augmentation(
+            datasets=("poverty",), include_automl=False, **TINY
+        )
+        methods = {row["method"] for row in rows}
+        assert {"ARDA", "All tables", "TR rule", "Base table"} <= methods
+        base_row = next(row for row in rows if row["method"] == "Base table")
+        assert base_row["improvement_pct"] == 0.0
+
+    def test_table1_contains_baseline_and_selectors(self):
+        rows = experiments.experiment_table1_real_world(
+            datasets=("poverty",), selectors=("RIFS", "f-test"), **TINY
+        )
+        methods = [row["method"] for row in rows]
+        assert "baseline" in methods and "RIFS" in methods and "f-test" in methods
+        for row in rows:
+            if row["method"] != "baseline":
+                assert row["time_s"] >= 0.0
+
+    def test_figure4_pct_change_relative_to_baseline(self):
+        rows = experiments.experiment_figure4_score_vs_time(
+            datasets=("poverty",), selectors=("f-test",), **TINY
+        )
+        assert all("pct_change" in row for row in rows)
+
+    def test_table2_coreset_classification(self):
+        rows = experiments.experiment_table2_coreset_classification(
+            datasets=("kraken",), selectors=("f-test",), coreset_size=150,
+            **{"rifs_options": {"n_rounds": 1}},
+        )
+        strategies = {row["strategy"] for row in rows}
+        assert strategies == {"stratified", "sketch"}
+
+    def test_table3_coreset_regression(self):
+        rows = experiments.experiment_table3_coreset_regression(
+            datasets=("poverty",), selectors=("f-test",), coreset_size=100, **TINY
+        )
+        assert all(row["strategy"] == "sketch" for row in rows)
+
+    def test_figure5_soft_join_variants(self):
+        rows = experiments.experiment_figure5_soft_joins(
+            datasets=("pickup",), selectors=("f-test",), **TINY
+        )
+        variants = {row["join_strategy"] for row in rows}
+        assert variants == {"Hard", "Time-Resampled", "Nearest", "2-way Nearest"}
+        assert all(row["error"] >= 0 for row in rows)
+
+    def test_table4_tuple_ratio(self):
+        rows = experiments.experiment_table4_tuple_ratio(
+            datasets=("poverty",), taus=(10.0,), **TINY
+        )
+        assert any(row.get("best_for_dataset") for row in rows)
+        assert all("speedup_x" in row for row in rows if "tau" in row)
+
+    def test_table5_table_grouping(self):
+        rows = experiments.experiment_table5_table_grouping(
+            datasets=("poverty",), selectors=("random forest",), **TINY
+        )
+        groupings = {row["grouping"] for row in rows}
+        assert groupings == {"table", "full"}
+
+    def test_table6_micro(self):
+        rows = experiments.experiment_table6_micro(
+            datasets=("kraken",), selectors=("f-test",), noise_factor=2,
+            rifs_options={"n_rounds": 1},
+        )
+        assert any(row["method"] == "baseline (original features)" for row in rows)
+
+    def test_figure6_noise_filtering_fraction_bounds(self):
+        rows = experiments.experiment_figure6_noise_filtering(
+            datasets=("kraken",), selectors=("f-test", "random forest"), noise_factor=2,
+            rifs_options={"n_rounds": 1},
+        )
+        for row in rows:
+            assert 0.0 <= row["fraction_real"] <= 1.0
+            assert row["n_real_selected"] <= row["n_selected"]
+
+    def test_ablation_injection(self):
+        rows = experiments.experiment_ablation_injection(
+            dataset_name="poverty", scale=0.15, rifs_rounds=1
+        )
+        assert {row["injection"] for row in rows} == {"moment_matched", "standard"}
+
+    def test_ablation_ensemble_weight(self):
+        rows = experiments.experiment_ablation_ensemble_weight(
+            dataset_name="poverty", nus=(0.0, 1.0), scale=0.15, rifs_rounds=1
+        )
+        assert {row["nu"] for row in rows} == {0.0, 1.0}

@@ -1,0 +1,195 @@
+"""Tests for metrics, model selection, preprocessing and the AutoML search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import (
+    AutoMLSearch,
+    KFold,
+    LabelEncoder,
+    MinMaxScaler,
+    StandardScaler,
+    StratifiedKFold,
+    accuracy_score,
+    cross_val_score,
+    f1_score,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    precision_score,
+    r2_score,
+    recall_score,
+    root_mean_squared_error,
+    train_test_split,
+)
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.metrics import confusion_matrix
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_perfect_f1(self):
+        assert f1_score([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_precision_recall_asymmetry(self):
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 1, 1, 0]
+        # class 1: precision 2/3, recall 1; class 0: precision 1, recall 1/2
+        assert precision_score(y_true, y_pred) == pytest.approx((2 / 3 + 1) / 2)
+        assert recall_score(y_true, y_pred) == pytest.approx((1 + 0.5) / 2)
+
+    def test_log_loss_penalises_confident_mistakes(self):
+        confident_right = log_loss([0, 1], [[0.9, 0.1], [0.1, 0.9]])
+        confident_wrong = log_loss([0, 1], [[0.1, 0.9], [0.9, 0.1]])
+        assert confident_wrong > confident_right
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix([0, 0, 1], [0, 1, 1])
+        assert matrix.tolist() == [[1, 1], [0, 1]]
+
+    def test_mae_mse_rmse(self):
+        y_true, y_pred = [0.0, 2.0], [1.0, 0.0]
+        assert mean_absolute_error(y_true, y_pred) == pytest.approx(1.5)
+        assert mean_squared_error(y_true, y_pred) == pytest.approx(2.5)
+        assert root_mean_squared_error(y_true, y_pred) == pytest.approx(np.sqrt(2.5))
+
+    def test_r2_of_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_perfect(self):
+        assert r2_score([1.0, 2.0], [1.0, 2.0]) == 1.0
+
+    def test_r2_constant_target(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+
+class TestSplitters:
+    def test_train_test_split_sizes(self):
+        X = np.arange(40).reshape(-1, 1)
+        X_train, X_test = train_test_split(X, test_size=0.25, random_state=0)
+        assert len(X_test) == 10
+        assert len(X_train) == 30
+
+    def test_split_is_a_partition(self):
+        X = np.arange(20)
+        X_train, X_test = train_test_split(X, test_size=0.3, random_state=1)
+        assert sorted(np.concatenate([X_train, X_test]).tolist()) == list(range(20))
+
+    def test_stratified_split_keeps_all_classes(self):
+        y = np.array([0] * 18 + [1] * 2, dtype=float)
+        _ytr, y_test = train_test_split(y, test_size=0.25, stratify=y, random_state=0)
+        assert 1.0 in y_test
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(5), np.arange(6))
+
+    def test_kfold_covers_every_index_once(self):
+        folds = list(KFold(n_splits=4, random_state=0).split(np.arange(22)))
+        test_indices = np.concatenate([test for _train, test in folds])
+        assert sorted(test_indices.tolist()) == list(range(22))
+
+    def test_kfold_train_test_disjoint(self):
+        for train, test in KFold(n_splits=3).split(np.arange(10)):
+            assert not set(train) & set(test)
+
+    def test_stratified_kfold_balances_classes(self):
+        y = np.array([0] * 30 + [1] * 6, dtype=float)
+        for _train, test in StratifiedKFold(n_splits=3).split(np.zeros((36, 1)), y):
+            assert (y[test] == 1).sum() == 2
+
+    def test_kfold_requires_two_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+    def test_cross_val_score_classification(self, classification_matrix):
+        X, y = classification_matrix
+        scores = cross_val_score(RandomForestClassifier(n_estimators=5), X, y, cv=3)
+        assert len(scores) == 3
+        assert scores.mean() > 0.7
+
+    def test_cross_val_score_custom_scoring(self, regression_matrix):
+        X, y = regression_matrix
+        scores = cross_val_score(
+            RandomForestRegressor(n_estimators=5), X, y, cv=3, scoring=mean_absolute_error
+        )
+        assert (scores > 0).all()
+
+
+class TestPreprocessing:
+    def test_standard_scaler(self, rng):
+        X = rng.normal(loc=5.0, scale=3.0, size=(100, 4))
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_standard_scaler_constant_column(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_standard_scaler_inverse(self, rng):
+        X = rng.normal(size=(20, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_scaler_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_minmax_scaler_range(self, rng):
+        X = rng.uniform(-10, 10, size=(50, 3))
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+
+    def test_label_encoder_roundtrip(self):
+        encoder = LabelEncoder()
+        codes = encoder.fit_transform(["b", "a", "b", "c"])
+        assert codes.tolist() == [1, 0, 1, 2]
+        assert encoder.inverse_transform(codes).tolist() == ["b", "a", "b", "c"]
+
+    def test_label_encoder_unseen_label(self):
+        encoder = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            encoder.transform(["z"])
+
+
+class TestAutoML:
+    def test_classification_search_finds_working_model(self, classification_matrix):
+        X, y = classification_matrix
+        automl = AutoMLSearch(task="classification", time_budget=5.0, max_trials=4).fit(X, y)
+        assert automl.score(X, y) > 0.8
+        assert len(automl.result_.trials) >= 1
+
+    def test_regression_search(self, regression_matrix):
+        X, y = regression_matrix
+        automl = AutoMLSearch(task="regression", time_budget=5.0, max_trials=4).fit(X, y)
+        assert automl.score(X, y) > 0.5
+
+    def test_invalid_task_rejected(self):
+        with pytest.raises(ValueError):
+            AutoMLSearch(task="clustering")
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            AutoMLSearch().predict(np.ones((2, 2)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=3), min_size=4, max_size=60).filter(
+        lambda values: len(set(values)) > 1
+    )
+)
+def test_accuracy_bounds_and_f1_consistency(labels):
+    """Property: accuracy is in [0, 1] and perfect predictions give F1 = 1."""
+    y = np.array(labels, dtype=float)
+    predictions = np.roll(y, 1)
+    accuracy = accuracy_score(y, predictions)
+    assert 0.0 <= accuracy <= 1.0
+    assert f1_score(y, y) == 1.0

@@ -1,0 +1,64 @@
+"""Tests for CSV input/output."""
+
+import numpy as np
+import pytest
+
+from repro.relational import Table, read_csv, write_csv
+from repro.relational.schema import CATEGORICAL, DATETIME, NUMERIC
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip_mixed_types(self, tmp_path, base_table):
+        path = tmp_path / "base.csv"
+        write_csv(base_table, path)
+        loaded = read_csv(path, name="base")
+        assert loaded.column_names == base_table.column_names
+        assert loaded.num_rows == base_table.num_rows
+        assert loaded["target"].values[3] == pytest.approx(40.0)
+        assert loaded["category"].values[0] == "x"
+
+    def test_missing_values_roundtrip(self, tmp_path):
+        table = Table.from_dict({"x": [1.0, None], "c": ["a", None]}, name="t")
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert np.isnan(loaded["x"].values[1])
+        assert loaded["c"].values[1] is None
+
+    def test_datetime_roundtrip(self, tmp_path):
+        table = Table.from_dict({"t": [0.0, 86400.0]}, types={"t": DATETIME}, name="t")
+        path = tmp_path / "dt.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded["t"].ctype is DATETIME
+        assert loaded["t"].values[1] == pytest.approx(86400.0)
+
+    def test_read_infers_numeric_type(self, tmp_path):
+        path = tmp_path / "n.csv"
+        path.write_text("a,b\n1,x\n2.5,y\n")
+        loaded = read_csv(path)
+        assert loaded["a"].ctype is NUMERIC
+        assert loaded["b"].ctype is CATEGORICAL
+
+    def test_read_handles_na_tokens(self, tmp_path):
+        path = tmp_path / "na.csv"
+        path.write_text("a\n1\nNA\nnull\n")
+        loaded = read_csv(path)
+        assert loaded["a"].null_count() == 2
+
+    def test_read_short_rows_padded_with_missing(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        loaded = read_csv(path)
+        assert np.isnan(loaded["b"].values[1])
+
+    def test_read_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        loaded = read_csv(path)
+        assert loaded.num_rows == 0
+
+    def test_table_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "my_table.csv"
+        path.write_text("a\n1\n")
+        assert read_csv(path).name == "my_table"

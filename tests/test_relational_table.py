@@ -1,0 +1,172 @@
+"""Tests for the Table class."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational import Table
+from repro.relational.column import Column
+from repro.relational.schema import CATEGORICAL, NUMERIC
+
+
+class TestConstruction:
+    def test_from_dict_and_shape(self, base_table):
+        assert base_table.shape == (6, 4)
+        assert base_table.column_names == ["entity_id", "feature_a", "category", "target"]
+
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Table([Column.numeric("a", [1.0]), Column.numeric("b", [1.0, 2.0])])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Table([Column.numeric("a", [1.0]), Column.numeric("a", [2.0])])
+
+    def test_from_rows(self):
+        table = Table.from_rows([{"a": 1, "b": "x"}, {"a": 2}])
+        assert table.shape == (2, 2)
+        assert table["b"].values[1] is None
+
+    def test_empty_table(self):
+        table = Table([])
+        assert table.num_rows == 0
+        assert table.num_columns == 0
+
+    def test_from_dict_with_explicit_types(self):
+        table = Table.from_dict({"code": [1, 2]}, types={"code": CATEGORICAL})
+        assert table["code"].ctype is CATEGORICAL
+
+
+class TestColumnAccess:
+    def test_missing_column_error_lists_available(self, base_table):
+        with pytest.raises(KeyError, match="entity_id"):
+            base_table.column("nope")
+
+    def test_contains(self, base_table):
+        assert "target" in base_table
+        assert "nope" not in base_table
+
+    def test_select_reorders(self, base_table):
+        selected = base_table.select(["target", "entity_id"])
+        assert selected.column_names == ["target", "entity_id"]
+
+    def test_drop(self, base_table):
+        assert "category" not in base_table.drop("category")
+
+    def test_drop_missing_raises(self, base_table):
+        with pytest.raises(KeyError):
+            base_table.drop(["nope"])
+
+    def test_with_column_replaces(self, base_table):
+        replaced = base_table.with_column(Column.numeric("target", [0.0] * 6))
+        assert replaced["target"].values[0] == 0.0
+        assert replaced.num_columns == base_table.num_columns
+
+    def test_with_column_length_mismatch(self, base_table):
+        with pytest.raises(ValueError):
+            base_table.with_column(Column.numeric("new", [1.0]))
+
+    def test_rename_columns(self, base_table):
+        renamed = base_table.rename_columns({"feature_a": "f"})
+        assert "f" in renamed and "feature_a" not in renamed
+
+    def test_prefix_columns_with_exclusion(self, base_table):
+        prefixed = base_table.prefix_columns("t.", exclude=["entity_id"])
+        assert "entity_id" in prefixed
+        assert "t.target" in prefixed
+
+
+class TestRowOperations:
+    def test_take_and_row(self, base_table):
+        taken = base_table.take(np.array([5, 0]))
+        assert taken.num_rows == 2
+        assert taken.row(0)["target"] == 60.0
+
+    def test_filter_mask_length_checked(self, base_table):
+        with pytest.raises(ValueError):
+            base_table.filter(np.array([True]))
+
+    def test_filter(self, base_table):
+        filtered = base_table.filter(base_table["target"].values > 30)
+        assert filtered.num_rows == 3
+
+    def test_sort_by_numeric_descending(self, base_table):
+        ordered = base_table.sort_by("target", descending=True)
+        assert ordered["target"].values[0] == 60.0
+
+    def test_sort_by_puts_nan_last(self):
+        table = Table.from_dict({"x": [None, 2.0, 1.0]})
+        ordered = table.sort_by("x")
+        assert ordered["x"].values[0] == 1.0
+        assert np.isnan(ordered["x"].values[-1])
+
+    def test_sort_by_categorical(self):
+        table = Table.from_dict({"c": ["b", "a", None]})
+        ordered = table.sort_by("c")
+        assert ordered["c"].values[0] == "a"
+        assert ordered["c"].values[-1] is None
+
+    def test_concat_rows(self, base_table):
+        doubled = base_table.concat_rows(base_table)
+        assert doubled.num_rows == 12
+
+    def test_concat_rows_schema_mismatch(self, base_table):
+        with pytest.raises(ValueError):
+            base_table.concat_rows(base_table.drop("category"))
+
+    def test_hstack_resolves_name_clashes(self, base_table):
+        stacked = base_table.hstack(base_table.select(["target"]))
+        assert "target_r" in stacked
+
+    def test_head(self, base_table):
+        assert base_table.head(2).num_rows == 2
+
+    def test_iter_rows(self, base_table):
+        rows = list(base_table.iter_rows())
+        assert len(rows) == 6
+        assert rows[0]["category"] == "x"
+
+
+class TestConversion:
+    def test_numeric_matrix_excludes_categorical(self, base_table):
+        matrix = base_table.numeric_matrix()
+        assert matrix.shape == (6, 3)
+
+    def test_numeric_matrix_rejects_categorical_request(self, base_table):
+        with pytest.raises(ValueError):
+            base_table.numeric_matrix(["category"])
+
+    def test_to_dict_roundtrip(self, base_table):
+        rebuilt = Table.from_dict(base_table.to_dict(), name="base")
+        assert rebuilt == base_table
+
+    def test_copy_is_independent(self, base_table):
+        copy = base_table.copy()
+        copy["target"].values[0] = -1.0
+        assert base_table["target"].values[0] == 10.0
+
+    def test_equality(self, base_table):
+        assert base_table == base_table.copy()
+        assert base_table != base_table.drop("category")
+
+
+@given(
+    st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=1, max_size=40),
+    st.integers(min_value=0, max_value=39),
+)
+def test_take_then_row_matches_original(values, index):
+    """take() of a permutation preserves every value exactly."""
+    index = index % len(values)
+    table = Table.from_dict({"x": values})
+    permutation = np.roll(np.arange(len(values)), 1)
+    taken = table.take(permutation)
+    assert taken["x"].values[(index + 1) % len(values)] == pytest.approx(values[index])
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=16), min_size=2, max_size=30))
+def test_sort_by_is_ordered_and_a_permutation(values):
+    """sort_by produces a non-decreasing permutation of the input."""
+    table = Table.from_dict({"x": values})
+    ordered = table.sort_by("x")["x"].values
+    assert np.all(np.diff(ordered) >= 0)
+    assert sorted(ordered.tolist()) == sorted([float(v) for v in values])

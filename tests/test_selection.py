@@ -1,0 +1,239 @@
+"""Tests for feature selection: rankers, statistical filters, relief, wrappers, search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.selection import (
+    CLASSIFICATION,
+    REGRESSION,
+    AllFeaturesSelector,
+    BackwardElimination,
+    Chi2Ranker,
+    FTestRanker,
+    ForwardSelection,
+    LassoRanker,
+    LinearSVCRanker,
+    LogisticRegressionRanker,
+    MutualInformationRanker,
+    PearsonRanker,
+    RandomForestRanker,
+    RecursiveFeatureElimination,
+    ReliefRanker,
+    SparseRegressionRanker,
+    available_selectors,
+    exponential_search,
+    holdout_score,
+    infer_task,
+    linear_forward_scan,
+    make_selector,
+    scores_to_normalised_ranks,
+)
+from repro.selection.statistical import (
+    f_classification_scores,
+    f_regression_scores,
+    mutual_information_scores,
+)
+
+
+class TestTaskInference:
+    def test_binary_labels_are_classification(self):
+        assert infer_task(np.array([0.0, 1.0, 0.0, 1.0])) == CLASSIFICATION
+
+    def test_continuous_target_is_regression(self):
+        assert infer_task(np.linspace(0, 1, 50)) == REGRESSION
+
+    def test_many_integer_values_is_regression(self):
+        assert infer_task(np.arange(100, dtype=float)) == REGRESSION
+
+
+class TestStatisticalScores:
+    def test_f_regression_prefers_correlated_feature(self, regression_matrix):
+        X, y = regression_matrix
+        scores = f_regression_scores(X, y)
+        assert scores[0] > scores[10]
+
+    def test_f_classification_prefers_separating_feature(self, classification_matrix):
+        X, y = classification_matrix
+        scores = f_classification_scores(X, y)
+        assert np.argmax(scores) < 3
+
+    def test_constant_feature_scores_zero(self):
+        X = np.column_stack([np.ones(50), np.arange(50.0)])
+        y = np.arange(50.0)
+        assert f_regression_scores(X, y)[0] == 0.0
+
+    def test_mutual_information_nonnegative(self, classification_matrix):
+        X, y = classification_matrix
+        scores = mutual_information_scores(X, y, CLASSIFICATION)
+        assert (scores >= 0).all()
+
+    def test_mutual_information_detects_dependence(self, rng):
+        informative = rng.normal(size=200)
+        y = (informative > 0).astype(float)
+        X = np.column_stack([informative, rng.normal(size=200)])
+        scores = mutual_information_scores(X, y, CLASSIFICATION)
+        assert scores[0] > scores[1]
+
+    def test_chi2_requires_classification(self, regression_matrix):
+        X, y = regression_matrix
+        with pytest.raises(ValueError):
+            Chi2Ranker().score_features(X, y, REGRESSION)
+
+    def test_pearson_ranker(self, regression_matrix):
+        X, y = regression_matrix
+        ranking = PearsonRanker().rank(X, y, REGRESSION)
+        assert ranking[0] in (0, 1, 2, 3)
+
+
+class TestModelRankers:
+    def test_random_forest_ranker_regression(self, regression_matrix):
+        X, y = regression_matrix
+        scores = RandomForestRanker(n_estimators=10).score_features(X, y, REGRESSION)
+        assert scores[:4].sum() > scores[4:].sum()
+
+    def test_random_forest_ranker_classification(self, classification_matrix):
+        X, y = classification_matrix
+        ranking = RandomForestRanker(n_estimators=10).rank(X, y, CLASSIFICATION)
+        assert ranking[0] in (0, 1, 2)
+
+    def test_sparse_regression_ranker(self, regression_matrix):
+        X, y = regression_matrix
+        scores = SparseRegressionRanker(gamma=1.0).score_features(X, y, REGRESSION)
+        assert set(np.argsort(-scores)[:4]) == {0, 1, 2, 3}
+
+    def test_lasso_ranker(self, regression_matrix):
+        X, y = regression_matrix
+        scores = LassoRanker(alpha=0.05).score_features(X, y, REGRESSION)
+        assert scores[:4].min() > scores[4:].max()
+
+    def test_logistic_ranker_rejects_regression(self, regression_matrix):
+        X, y = regression_matrix
+        with pytest.raises(ValueError):
+            LogisticRegressionRanker().score_features(X, y, REGRESSION)
+
+    def test_logistic_and_svc_rankers_find_signal(self, classification_matrix):
+        X, y = classification_matrix
+        for ranker in (LogisticRegressionRanker(), LinearSVCRanker()):
+            ranking = ranker.rank(X, y, CLASSIFICATION)
+            assert ranking[0] in (0, 1, 2)
+
+    def test_relief_classification(self, classification_matrix):
+        X, y = classification_matrix
+        scores = ReliefRanker(sample_size=100).score_features(X, y, CLASSIFICATION)
+        assert np.argmax(scores) in (0, 1, 2)
+
+    def test_relief_regression_runs(self, regression_matrix):
+        X, y = regression_matrix
+        scores = ReliefRanker(sample_size=100).score_features(X, y, REGRESSION)
+        assert scores.shape == (X.shape[1],)
+
+
+class TestSearch:
+    def test_exponential_search_selects_prefix(self, regression_matrix):
+        X, y = regression_matrix
+        ranking = np.array([0, 1, 2, 3] + list(range(4, X.shape[1])))
+        selected, trace = exponential_search(X, y, ranking, REGRESSION)
+        assert 2 <= len(selected) <= X.shape[1]
+        assert set(selected[:2]) <= set(ranking[: len(selected)])
+        assert len(trace.sizes) >= 2
+
+    def test_exponential_search_trains_logarithmically_many_models(self, regression_matrix):
+        X, y = regression_matrix
+        ranking = np.arange(X.shape[1])
+        _selected, trace = exponential_search(X, y, ranking, REGRESSION)
+        assert len(trace.sizes) <= 2 * int(np.ceil(np.log2(X.shape[1]))) + 3
+
+    def test_exponential_search_empty_ranking(self):
+        selected, trace = exponential_search(
+            np.empty((10, 0)), np.zeros(10), np.array([], dtype=int), REGRESSION
+        )
+        assert len(selected) == 0
+
+    def test_linear_scan_stops_with_patience(self, regression_matrix):
+        X, y = regression_matrix
+        ranking = np.arange(X.shape[1])
+        selected, trace = linear_forward_scan(X, y, ranking, REGRESSION, patience=2)
+        assert len(selected) >= 1
+        assert len(trace.sizes) < X.shape[1]
+
+    def test_holdout_score_empty_matrix(self):
+        assert holdout_score(np.empty((10, 0)), np.zeros(10), REGRESSION) == -np.inf
+
+
+class TestWrappers:
+    def test_forward_selection_finds_signal(self, regression_matrix):
+        X, y = regression_matrix
+        result = ForwardSelection(candidate_pool=10, max_features=6).select(X, y, REGRESSION)
+        assert len(set(result.selected) & {0, 1, 2, 3}) >= 2
+
+    def test_backward_elimination_keeps_signal(self, classification_matrix):
+        X, y = classification_matrix
+        result = BackwardElimination(max_rounds=6).select(X, y, CLASSIFICATION)
+        assert len(set(result.selected) & {0, 1, 2}) >= 2
+
+    def test_rfe_selects_subset(self, regression_matrix):
+        X, y = regression_matrix
+        result = RecursiveFeatureElimination().select(X, y, REGRESSION)
+        assert 0 < len(result.selected) <= X.shape[1]
+        assert result.elapsed > 0
+
+    def test_rfe_drop_fraction_validated(self):
+        with pytest.raises(ValueError):
+            RecursiveFeatureElimination(drop_fraction=1.5)
+
+    def test_all_features_selector(self, regression_matrix):
+        X, y = regression_matrix
+        result = AllFeaturesSelector().select(X, y)
+        assert len(result.selected) == X.shape[1]
+
+
+class TestRegistry:
+    def test_available_selectors_task_filtering(self):
+        regression_methods = available_selectors(REGRESSION)
+        classification_methods = available_selectors(CLASSIFICATION)
+        assert "lasso" in regression_methods and "lasso" not in classification_methods
+        assert "linear svc" in classification_methods and "linear svc" not in regression_methods
+        assert "RIFS" in regression_methods
+
+    def test_make_selector_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_selector("bogus method")
+
+    def test_make_selector_overrides(self):
+        selector = make_selector("RIFS", n_rounds=3)
+        assert selector.n_rounds == 3
+
+    @pytest.mark.parametrize(
+        "name", ["random forest", "f-test", "mutual info", "sparse regression", "relief"]
+    )
+    def test_registry_selectors_run_on_regression(self, name, regression_matrix):
+        X, y = regression_matrix
+        result = make_selector(name).select(X, y, task=REGRESSION)
+        assert result.num_selected >= 1
+        assert result.method == name
+
+
+class TestRankNormalisation:
+    def test_best_score_gets_rank_one(self):
+        ranks = scores_to_normalised_ranks(np.array([0.1, 5.0, 1.0]))
+        assert ranks[1] == 1.0
+        assert ranks[0] == 0.0
+
+    def test_constant_scores_all_half(self):
+        ranks = scores_to_normalised_ranks(np.ones(5))
+        assert np.allclose(ranks, 0.5)
+
+    def test_single_feature(self):
+        assert scores_to_normalised_ranks(np.array([3.0]))[0] == 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=2, max_size=50))
+def test_normalised_ranks_are_bounded_and_order_preserving(scores):
+    """Property: normalised ranks live in [0, 1] and respect the score order."""
+    values = np.array(scores)
+    ranks = scores_to_normalised_ranks(values)
+    assert ranks.min() >= 0.0 and ranks.max() <= 1.0
+    best, worst = np.argmax(values), np.argmin(values)
+    assert ranks[best] >= ranks[worst]
