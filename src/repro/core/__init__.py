@@ -1,6 +1,13 @@
 """ARDA core: the end-to-end automatic relational data augmentation pipeline."""
 
 from repro.core.config import ARDAConfig
+from repro.core.executor import (
+    JoinExecutor,
+    ProcessJoinExecutor,
+    SerialJoinExecutor,
+    ThreadJoinExecutor,
+    make_executor,
+)
 from repro.core.join_plan import JoinBatch, build_join_plan
 from repro.core.join_execution import execute_join, join_candidates
 from repro.core.arda import ARDA
@@ -12,6 +19,11 @@ __all__ = [
     "AugmentationReport",
     "BatchReport",
     "JoinBatch",
+    "JoinExecutor",
+    "SerialJoinExecutor",
+    "ThreadJoinExecutor",
+    "ProcessJoinExecutor",
+    "make_executor",
     "build_join_plan",
     "execute_join",
     "join_candidates",

@@ -24,7 +24,8 @@ import numpy as np
 from repro.coreset import make_coreset_builder
 from repro.coreset.base import default_coreset_size
 from repro.core.config import ARDAConfig
-from repro.core.join_execution import join_candidates
+from repro.core.executor import make_executor
+from repro.core.join_execution import join_candidates_detailed
 from repro.core.join_plan import build_join_plan
 from repro.core.results import AugmentationReport, BatchReport
 from repro.datasets.bundle import AugmentationDataset
@@ -85,11 +86,14 @@ class ARDA:
 
             task = infer_task(encode_target(base_table.column(target)))
 
+        discovery_time = 0.0
         if candidates is None:
-            discovery = JoinDiscovery()
+            discovery_start = time.perf_counter()
+            discovery = JoinDiscovery(use_cache=config.cache_profiles)
             candidates = discovery.discover(
                 base_table, repository, target=target, soft_key_columns=soft_key_columns
             )
+            discovery_time = time.perf_counter() - discovery_start
         candidates = list(candidates)
         tables_considered = len(candidates)
 
@@ -108,13 +112,16 @@ class ARDA:
             candidates = [candidates[i] for i in keep]
 
         # coreset construction
+        coreset_start = time.perf_counter()
         coreset = self._build_coreset(base_table, target)
+        coreset_time = time.perf_counter() - coreset_start
 
         # join plan
         budget = config.budget if config.budget is not None else max(coreset.num_rows, 50)
         batches = build_join_plan(
             candidates, repository, strategy=config.join_plan, budget=budget
         )
+        executor = make_executor(config.executor, config.n_jobs)
 
         estimator = self._make_selection_estimator(task)
         rng = np.random.default_rng(config.random_state)
@@ -126,86 +133,86 @@ class ARDA:
 
         kept_columns: list[str] = []
         kept_tables: list[str] = []
-        kept_candidates: list[JoinCandidate] = []
+        # (candidate, kept positions within its added columns, loop-time names)
+        kept_specs: list[tuple[JoinCandidate, list[int], list[str]]] = []
         batch_reports: list[BatchReport] = []
         working = coreset
         join_time = 0.0
         selection_time = 0.0
-        for batch_index, batch in enumerate(batches):
+        try:
+            for batch_index, batch in enumerate(batches):
+                join_start = time.perf_counter()
+                joined, added_per_candidate = join_candidates_detailed(
+                    working,
+                    repository,
+                    batch.candidates,
+                    soft_strategy=config.soft_join,
+                    time_resample=config.time_resample,
+                    rng=rng,
+                    executor=executor,
+                    widths=batch.feature_counts,
+                )
+                batch_join_time = time.perf_counter() - join_start
+                join_time += batch_join_time
+                foreign_columns = [name for names in added_per_candidate for name in names]
+                if not foreign_columns:
+                    continue
+
+                X, y, encoding = to_design_matrix(
+                    impute_table(joined, seed=config.random_state),
+                    target,
+                    max_categories=config.max_categories,
+                    seed=config.random_state,
+                )
+                foreign_set = set(foreign_columns)
+                selection_start = time.perf_counter()
+                result = selector.select(X, y, task=task, estimator=estimator)
+                selection_time += time.perf_counter() - selection_start
+
+                selected_sources = {encoding.source_columns[i] for i in result.selected}
+                newly_kept = [name for name in foreign_columns if name in selected_sources]
+                batch_score = holdout_score(
+                    X[:, result.selected], y, task, estimator=estimator,
+                    random_state=config.random_state,
+                ) if len(result.selected) else -np.inf
+                batch_reports.append(
+                    BatchReport(
+                        batch_index=batch_index,
+                        table_names=batch.table_names,
+                        columns_considered=len(foreign_columns),
+                        columns_kept=newly_kept,
+                        selection_time=result.elapsed,
+                        holdout_score=float(batch_score),
+                        join_time=batch_join_time,
+                    )
+                )
+                if newly_kept:
+                    kept_columns.extend(newly_kept)
+                    newly_kept_set = set(newly_kept)
+                    for candidate, added in zip(batch.candidates, added_per_candidate):
+                        positions = [
+                            index
+                            for index, name in enumerate(added)
+                            if name in newly_kept_set
+                        ]
+                        if positions:
+                            kept_tables.append(candidate.foreign_table)
+                            kept_specs.append(
+                                (candidate, positions, [added[i] for i in positions])
+                            )
+                    # carry the kept columns forward so later batches can find
+                    # co-predictors that span tables
+                    carry = [c for c in joined.column_names if c not in foreign_set or c in newly_kept]
+                    working = joined.select(carry)
+
+            # final materialisation on the full base table
             join_start = time.perf_counter()
-            joined, contributed = join_candidates(
-                working,
-                repository,
-                batch.candidates,
-                soft_strategy=config.soft_join,
-                time_resample=config.time_resample,
-                rng=rng,
+            augmented_full = self._materialise_kept(
+                base_table, repository, kept_specs, executor
             )
             join_time += time.perf_counter() - join_start
-            foreign_columns = [name for names in contributed.values() for name in names]
-            if not foreign_columns:
-                continue
-
-            X, y, encoding = to_design_matrix(
-                impute_table(joined, seed=config.random_state),
-                target,
-                max_categories=config.max_categories,
-                seed=config.random_state,
-            )
-            foreign_set = set(foreign_columns)
-            selection_start = time.perf_counter()
-            result = selector.select(X, y, task=task, estimator=estimator)
-            selection_time += time.perf_counter() - selection_start
-
-            selected_sources = {encoding.source_columns[i] for i in result.selected}
-            newly_kept = [name for name in foreign_columns if name in selected_sources]
-            batch_score = holdout_score(
-                X[:, result.selected], y, task, estimator=estimator,
-                random_state=config.random_state,
-            ) if len(result.selected) else -np.inf
-            batch_reports.append(
-                BatchReport(
-                    batch_index=batch_index,
-                    table_names=batch.table_names,
-                    columns_considered=len(foreign_columns),
-                    columns_kept=newly_kept,
-                    selection_time=result.elapsed,
-                    holdout_score=float(batch_score),
-                )
-            )
-            if newly_kept:
-                kept_columns.extend(newly_kept)
-                keep_table_names = {
-                    table_name
-                    for table_name, names in contributed.items()
-                    if any(name in newly_kept for name in names)
-                }
-                for candidate in batch.candidates:
-                    if candidate.foreign_table in keep_table_names:
-                        kept_tables.append(candidate.foreign_table)
-                        kept_candidates.append(candidate)
-                # carry the kept columns forward so later batches can find
-                # co-predictors that span tables
-                carry = [c for c in joined.column_names if c not in foreign_set or c in newly_kept]
-                working = joined.select(carry)
-
-        # final materialisation on the full base table
-        join_start = time.perf_counter()
-        augmented_full, contributed_full = join_candidates(
-            base_table,
-            repository,
-            kept_candidates,
-            soft_strategy=config.soft_join,
-            time_resample=config.time_resample,
-            rng=np.random.default_rng(config.random_state),
-        )
-        join_time += time.perf_counter() - join_start
-        keep_final = [
-            name
-            for name in augmented_full.column_names
-            if name in set(base_table.column_names) or name in set(kept_columns)
-        ]
-        augmented_full = augmented_full.select(keep_final)
+        finally:
+            executor.shutdown()
 
         base_score = self._final_score(base_table, target, task)
         augmented_score = self._final_score(augmented_full, target, task)
@@ -224,9 +231,46 @@ class ARDA:
             total_time=time.perf_counter() - start,
             selection_time=selection_time,
             join_time=join_time,
+            discovery_time=discovery_time,
+            coreset_time=coreset_time,
+            executor=executor.name,
         )
 
     # -- helpers ----------------------------------------------------------------------
+
+    def _materialise_kept(
+        self,
+        base_table: Table,
+        repository: DataRepository,
+        kept_specs: list[tuple[JoinCandidate, list[int], list[str]]],
+        executor,
+    ) -> Table:
+        """Re-execute the kept joins on the full base table.
+
+        Kept columns are matched to their loop-time names positionally:
+        collision suffixes depend on which other columns were present when a
+        batch was joined, so a column's *name* can differ between the
+        coreset-batch join and this final join, but each candidate's added
+        columns keep the foreign table's column order in both.  Selecting by
+        position and renaming back to the loop-time name guarantees the final
+        table carries exactly the columns feature selection chose, under the
+        names the report lists.
+        """
+        config = self.config
+        joined, added_per_candidate = join_candidates_detailed(
+            base_table,
+            repository,
+            [spec[0] for spec in kept_specs],
+            soft_strategy=config.soft_join,
+            time_resample=config.time_resample,
+            rng=np.random.default_rng(config.random_state),
+            executor=executor,
+        )
+        out_columns = list(base_table.columns())
+        for (candidate, positions, loop_names), added in zip(kept_specs, added_per_candidate):
+            for position, loop_name in zip(positions, loop_names):
+                out_columns.append(joined.column(added[position]).rename(loop_name))
+        return Table(out_columns, name=base_table.name)
 
     def _build_coreset(self, base_table: Table, target: str) -> Table:
         config = self.config

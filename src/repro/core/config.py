@@ -42,6 +42,18 @@ class ARDAConfig:
         One-hot encoding cap per categorical column.
     test_size / random_state:
         Holdout fraction and seed used for evaluation splits throughout.
+    executor:
+        ``"serial"`` (default), ``"thread"`` or ``"process"`` backend used to
+        execute the independent joins of each join-plan batch.  All backends
+        produce identical results; parallel backends speed up multi-candidate
+        batches.
+    n_jobs:
+        Worker count for parallel executors; ``None`` or non-positive values
+        use all cores, ``1`` falls back to the serial executor.
+    cache_profiles:
+        Whether join discovery reuses the repository's profile cache
+        (:class:`~repro.discovery.repository.ProfileCache`), so repeated
+        ``augment`` runs over the same repository skip re-profiling.
     """
 
     coreset_strategy: str = "uniform"
@@ -58,8 +70,15 @@ class ARDAConfig:
     max_categories: int = 12
     test_size: float = 0.25
     random_state: int = 0
+    executor: str = "serial"
+    n_jobs: int | None = None
+    cache_profiles: bool = True
 
     def __post_init__(self):
+        from repro.core.executor import EXECUTOR_NAMES
+
+        if self.executor not in EXECUTOR_NAMES:
+            raise ValueError(f"executor must be one of {EXECUTOR_NAMES}")
         valid_plans = ("budget", "table", "full")
         if self.join_plan not in valid_plans:
             raise ValueError(f"join_plan must be one of {valid_plans}")

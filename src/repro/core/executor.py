@@ -1,0 +1,152 @@
+"""Pluggable execution backends for batches of independent join tasks.
+
+The joins inside one join-plan batch are independent of each other: every
+candidate is LEFT-joined against the same base snapshot and only *adds*
+columns, so a batch can be executed concurrently and merged in candidate
+order.  This module provides the execution strategy only; the decomposition
+and merge live in :mod:`repro.core.join_execution`.
+
+Three backends:
+
+* :class:`SerialJoinExecutor` — plain in-process loop, zero overhead; the
+  reference implementation every other backend must match byte-for-byte.
+* :class:`ThreadJoinExecutor` — ``concurrent.futures.ThreadPoolExecutor``.
+  Join kernels spend most of their time in NumPy, which releases the GIL,
+  so threads are the default parallel choice (no pickling, shared arrays).
+* :class:`ProcessJoinExecutor` — ``concurrent.futures.ProcessPoolExecutor``
+  for CPU-bound pure-Python joins; tasks and results must pickle.
+
+``make_executor`` resolves a config name to a backend and falls back to the
+serial executor whenever ``n_jobs`` resolves to one worker, so configuring
+``executor="thread", n_jobs=1`` costs nothing over the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Turn a config ``n_jobs`` into a concrete worker count.
+
+    ``None`` and non-positive values mean "use all available cores".
+    """
+    if n_jobs is None or n_jobs <= 0:
+        return max(1, os.cpu_count() or 1)
+    return int(n_jobs)
+
+
+class JoinExecutor:
+    """Strategy interface: run independent tasks, preserving input order.
+
+    Implementations must return results positionally aligned with ``items`` —
+    the merge step in :func:`repro.core.join_execution.join_candidates` relies
+    on that to keep parallel output identical to serial output.
+    """
+
+    name = "serial"
+    n_jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item, returning results in input order."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release any pooled workers (no-op for poolless executors)."""
+
+    def __enter__(self) -> "JoinExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_jobs={self.n_jobs})"
+
+
+class SerialJoinExecutor(JoinExecutor):
+    """Execute tasks one after another in the calling thread."""
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class _PoolJoinExecutor(JoinExecutor):
+    """Shared machinery for the ``concurrent.futures`` pool backends.
+
+    The pool is created lazily on the first multi-item ``map`` and reused
+    across calls (one ``ARDA.augment`` run maps once per batch, so per-call
+    pools would pay worker startup once per batch); ``shutdown`` releases it.
+    Both pool classes spawn workers on demand, so idle capacity is cheap.
+    """
+
+    pool_class: type
+
+    def __init__(self, n_jobs: int | None = None):
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self._pool = None
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        items = list(items)
+        if len(items) <= 1 or self.n_jobs == 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = self.pool_class(max_workers=self.n_jobs)
+        return list(self._pool.map(fn, items))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+class ThreadJoinExecutor(_PoolJoinExecutor):
+    """Execute tasks on a thread pool (default parallel backend)."""
+
+    name = "thread"
+    pool_class = ThreadPoolExecutor
+
+
+class ProcessJoinExecutor(_PoolJoinExecutor):
+    """Execute tasks on a process pool (tasks and results must pickle)."""
+
+    name = "process"
+    pool_class = ProcessPoolExecutor
+
+
+EXECUTOR_NAMES: tuple[str, ...] = ("serial", "thread", "process")
+
+
+def make_executor(name: str | JoinExecutor = "serial", n_jobs: int | None = None) -> JoinExecutor:
+    """Build a :class:`JoinExecutor` from a config name.
+
+    A ready-made executor instance passes through unchanged.  A parallel
+    backend with ``n_jobs=1`` falls back to the serial executor, since a
+    one-worker pool only adds overhead.
+    """
+    if isinstance(name, JoinExecutor):
+        return name
+    if name not in EXECUTOR_NAMES:
+        raise ValueError(f"executor must be one of {EXECUTOR_NAMES}, got {name!r}")
+    if name == "serial":
+        return SerialJoinExecutor()
+    if n_jobs is not None and resolve_n_jobs(n_jobs) == 1:
+        return SerialJoinExecutor()
+    if name == "thread":
+        return ThreadJoinExecutor(n_jobs)
+    return ProcessJoinExecutor(n_jobs)
+
+
+def longest_first_order(weights: Sequence[int]) -> list[int]:
+    """Indices sorted by descending weight (ties keep input order).
+
+    Submitting the widest joins first approximates longest-processing-time
+    scheduling, which minimises pool makespan; callers must restore result
+    order afterwards.
+    """
+    return sorted(range(len(weights)), key=lambda i: (-weights[i], i))

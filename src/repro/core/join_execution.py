@@ -14,13 +14,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.executor import JoinExecutor, SerialJoinExecutor, longest_first_order
 from repro.discovery.candidates import JoinCandidate
 from repro.discovery.repository import DataRepository
+from repro.relational.column import Column
 from repro.relational.join import left_join
 from repro.relational.resample import align_time_granularity
 from repro.relational.schema import DATETIME
 from repro.relational.soft_join import nearest_join, two_way_nearest_join
-from repro.relational.table import Table
+from repro.relational.table import Table, unique_name
 
 
 def execute_join(
@@ -91,6 +93,29 @@ def _execute_soft_join(
     raise ValueError(f"unknown soft join strategy {soft_strategy!r}")
 
 
+def _contributed_columns(
+    task: tuple[Table, Table, JoinCandidate, str, bool, np.random.Generator | None],
+) -> list[Column]:
+    """Worker: run one candidate join and return only the columns it added.
+
+    Module-level (not a closure) so the process-pool backend can pickle it.
+    The base handed in is a projection onto the candidate's key columns and
+    only the new foreign columns travel back, so a process worker never
+    pickles base feature data in either direction.
+    """
+    base, foreign, candidate, soft_strategy, time_resample, rng = task
+    joined = execute_join(
+        base,
+        foreign,
+        candidate,
+        soft_strategy=soft_strategy,
+        time_resample=time_resample,
+        rng=rng,
+    )
+    base_names = set(base.column_names)
+    return [col for col in joined.columns() if col.name not in base_names]
+
+
 def join_candidates(
     base: Table,
     repository: DataRepository,
@@ -98,26 +123,103 @@ def join_candidates(
     soft_strategy: str = "two_way_nearest",
     time_resample: bool = True,
     rng: np.random.Generator | None = None,
+    executor: JoinExecutor | None = None,
+    suffix: str = "_r",
+    widths: list[int] | None = None,
 ) -> tuple[Table, dict[str, list[str]]]:
     """Join every candidate in a batch onto ``base``.
 
     Returns the joined table and a mapping from foreign table name to the list
     of column names it contributed, which the pipeline uses to trace selected
-    features back to tables.
+    features back to tables.  See :func:`join_candidates_detailed` for the
+    execution model; this wrapper only aggregates its per-candidate column
+    lists by foreign table.
     """
-    working = base
+    candidates = list(candidates)
+    joined, added_per_candidate = join_candidates_detailed(
+        base,
+        repository,
+        candidates,
+        soft_strategy=soft_strategy,
+        time_resample=time_resample,
+        rng=rng,
+        executor=executor,
+        suffix=suffix,
+        widths=widths,
+    )
     contributed: dict[str, list[str]] = {}
-    for candidate in candidates:
-        foreign = repository.get(candidate.foreign_table)
-        before = set(working.column_names)
-        working = execute_join(
-            working,
-            foreign,
-            candidate,
-            soft_strategy=soft_strategy,
-            time_resample=time_resample,
-            rng=rng,
-        )
-        added = [name for name in working.column_names if name not in before]
-        contributed[candidate.foreign_table] = added
-    return working, contributed
+    for candidate, added in zip(candidates, added_per_candidate):
+        contributed.setdefault(candidate.foreign_table, []).extend(added)
+    return joined, contributed
+
+
+def join_candidates_detailed(
+    base: Table,
+    repository: DataRepository,
+    candidates: list[JoinCandidate],
+    soft_strategy: str = "two_way_nearest",
+    time_resample: bool = True,
+    rng: np.random.Generator | None = None,
+    executor: JoinExecutor | None = None,
+    suffix: str = "_r",
+    widths: list[int] | None = None,
+) -> tuple[Table, list[list[str]]]:
+    """Join every candidate onto ``base``, tracking added columns per candidate.
+
+    Every join is a LEFT join that preserves base rows and order and only adds
+    columns, and candidate keys always reference base-table columns, so the
+    batch decomposes into independent per-candidate tasks: each candidate is
+    joined against a projection of ``base`` onto its key columns (optionally
+    in parallel on ``executor``), and the contributed columns are spliced back
+    in candidate order.  Column-name collisions between candidates are
+    resolved at merge time with ``suffix``, and each candidate gets its own
+    generator spawned deterministically from ``rng`` — both choices make the
+    output identical regardless of the executor backend.
+
+    ``widths`` optionally supplies the planner's per-candidate feature
+    estimates (``JoinBatch.feature_counts``) used to schedule the widest joins
+    first on a parallel executor.
+
+    Returns the joined table and, aligned with ``candidates``, the list of
+    column names each candidate added.  A candidate's columns keep a stable
+    order (the foreign table's column order) even when collision suffixing
+    renames them, so position within the list identifies a column across
+    differently-named joins of the same candidate.
+    """
+    candidates = list(candidates)
+    if not candidates:
+        return base, []
+    if executor is None:
+        executor = SerialJoinExecutor()
+    child_rngs = rng.spawn(len(candidates)) if rng is not None else [None] * len(candidates)
+    foreigns = [repository.get(c.foreign_table) for c in candidates]
+    tasks = []
+    for foreign, candidate, child_rng in zip(foreigns, candidates, child_rngs):
+        # ship only the key columns of the base: the join match depends on
+        # nothing else, and a process worker then never pickles feature data
+        base_view = base.select(list(dict.fromkeys(candidate.base_columns)))
+        tasks.append((base_view, foreign, candidate, soft_strategy, time_resample, child_rng))
+    # submit widest tables first (LPT scheduling) to minimise pool makespan;
+    # results are mapped back to candidate order before merging
+    if widths is None or len(widths) != len(candidates):
+        widths = [foreign.num_columns for foreign in foreigns]
+    order = longest_first_order(widths)
+    mapped = executor.map(_contributed_columns, [tasks[i] for i in order])
+    results: list[list[Column]] = [[] for _ in tasks]
+    for rank, index in enumerate(order):
+        results[index] = mapped[rank]
+
+    out_columns = list(base.columns())
+    existing = set(base.column_names)
+    added_per_candidate: list[list[str]] = []
+    for new_columns in results:
+        added = []
+        for col in new_columns:
+            name = unique_name(col.name, existing, suffix)
+            if name != col.name:
+                col = col.rename(name)
+            existing.add(name)
+            out_columns.append(col)
+            added.append(name)
+        added_per_candidate.append(added)
+    return Table(out_columns, name=base.name), added_per_candidate

@@ -23,10 +23,16 @@ from repro.discovery.repository import DataRepository
 
 @dataclass
 class JoinBatch:
-    """One group of candidate joins evaluated together by feature selection."""
+    """One group of candidate joins evaluated together by feature selection.
+
+    ``feature_counts`` holds the per-candidate width estimates (aligned with
+    ``candidates``) the planner computed while building the batch; the join
+    layer uses them to schedule the widest joins first on parallel executors.
+    """
 
     candidates: list[JoinCandidate] = field(default_factory=list)
     estimated_features: int = 0
+    feature_counts: list[int] = field(default_factory=list)
 
     @property
     def table_names(self) -> list[str]:
@@ -58,13 +64,14 @@ def build_join_plan(
     """Group candidates into ordered batches according to the strategy."""
     ordered = sorted(candidates, key=lambda c: -c.score)
     if strategy == "table":
+        widths = [estimate_feature_count(c, repository) for c in ordered]
         return [
-            JoinBatch([candidate], estimate_feature_count(candidate, repository))
-            for candidate in ordered
+            JoinBatch([candidate], width, [width])
+            for candidate, width in zip(ordered, widths)
         ]
     if strategy == "full":
-        total = sum(estimate_feature_count(c, repository) for c in ordered)
-        return [JoinBatch(list(ordered), total)] if ordered else []
+        widths = [estimate_feature_count(c, repository) for c in ordered]
+        return [JoinBatch(list(ordered), sum(widths), widths)] if ordered else []
     if strategy != "budget":
         raise ValueError(f"unknown join plan strategy {strategy!r}")
 
@@ -78,6 +85,7 @@ def build_join_plan(
             current = JoinBatch()
         current.candidates.append(candidate)
         current.estimated_features += width
+        current.feature_counts.append(width)
         # a single table wider than the budget ships alone ("an exception to
         # this rule happens when a single table has more features than rows")
         if current.estimated_features >= budget:

@@ -17,6 +17,7 @@ class BatchReport:
     columns_kept: list[str]
     selection_time: float
     holdout_score: float
+    join_time: float = 0.0
 
 
 @dataclass
@@ -42,6 +43,9 @@ class AugmentationReport:
     total_time: float = 0.0
     selection_time: float = 0.0
     join_time: float = 0.0
+    discovery_time: float = 0.0
+    coreset_time: float = 0.0
+    executor: str = "serial"
 
     @property
     def improvement(self) -> float:
@@ -55,6 +59,24 @@ class AugmentationReport:
             return 0.0
         return (self.augmented_score - self.base_score) / abs(self.base_score)
 
+    def stage_breakdown(self) -> dict[str, float]:
+        """Wall-clock seconds per pipeline stage.
+
+        ``other_s`` is the remainder of the total not attributed to a named
+        stage (imputation, encoding, final scoring, bookkeeping).
+        """
+        accounted = (
+            self.discovery_time + self.coreset_time + self.join_time + self.selection_time
+        )
+        return {
+            "discovery_s": self.discovery_time,
+            "coreset_s": self.coreset_time,
+            "join_s": self.join_time,
+            "selection_s": self.selection_time,
+            "other_s": max(0.0, self.total_time - accounted),
+            "total_s": self.total_time,
+        }
+
     def summary(self) -> dict:
         """Compact dictionary used by reports and tests."""
         return {
@@ -67,4 +89,7 @@ class AugmentationReport:
             "kept_tables": len(self.kept_tables),
             "tables_considered": self.tables_considered,
             "total_time_s": round(self.total_time, 2),
+            "join_time_s": round(self.join_time, 2),
+            "selection_time_s": round(self.selection_time, 2),
+            "executor": self.executor,
         }

@@ -56,10 +56,12 @@ class JoinDiscovery:
         min_score: float = 0.05,
         num_hashes: int = 64,
         max_candidates_per_table: int = 2,
+        use_cache: bool = True,
     ):
         self.min_score = min_score
         self.num_hashes = num_hashes
         self.max_candidates_per_table = max_candidates_per_table
+        self.use_cache = use_cache
 
     def discover(
         self,
@@ -73,6 +75,11 @@ class JoinDiscovery:
         ``soft_key_columns`` optionally forces specific base columns (e.g. a
         timestamp) to be treated as soft keys; datetime columns are treated as
         soft automatically.
+
+        When ``use_cache`` is on (the default) repository columns are profiled
+        through the repository's :class:`~repro.discovery.repository.ProfileCache`,
+        so repeated discovery over the same repository skips re-profiling.  The
+        base table is always profiled fresh (it changes between pipelines).
         """
         soft_set = set(soft_key_columns or ())
         base_profiles = profile_table(base, num_hashes=self.num_hashes)
@@ -83,7 +90,12 @@ class JoinDiscovery:
         for foreign in repository:
             if foreign.name == base.name:
                 continue
-            foreign_profiles = profile_table(foreign, num_hashes=self.num_hashes)
+            if self.use_cache:
+                foreign_profiles = repository.profiles(
+                    foreign.name, num_hashes=self.num_hashes
+                )
+            else:
+                foreign_profiles = profile_table(foreign, num_hashes=self.num_hashes)
             scored: list[tuple[float, KeyPair]] = []
             for base_name, base_profile in base_profiles.items():
                 for foreign_name, foreign_profile in foreign_profiles.items():

@@ -1,12 +1,77 @@
-"""An in-memory repository of named tables (the "data lake")."""
+"""An in-memory repository of named tables (the "data lake") and its profile cache."""
 
 from __future__ import annotations
 
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.discovery.profiles import ColumnProfile, profile_table
 from repro.relational.io import read_csv
 from repro.relational.table import Table
+
+
+class ProfileCache:
+    """Memoised column profiles (including MinHash signatures) per table.
+
+    Join discovery profiles every repository column on every run; on repeated
+    :meth:`ARDA.augment` calls or multi-scenario sweeps over the same
+    repository this dominates discovery time.  The cache stores the full
+    per-table profile dictionary keyed by ``(table name, num_hashes)`` and
+    validates entries by table *object identity*: tables are immutable by
+    convention, so as long as a repository slot still holds the same object the
+    cached profiles are exact.  Replacing or removing a table invalidates its
+    entries.
+
+    ``hits`` / ``misses`` / ``invalidations`` counters are exposed so callers
+    (and tests) can assert that re-profiling was actually skipped.
+    """
+
+    def __init__(self):
+        self._entries: dict[tuple[str, int], tuple[Table, dict[str, ColumnProfile]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get_or_profile(self, table: Table, num_hashes: int = 64) -> dict[str, ColumnProfile]:
+        """Return cached profiles for ``table``, profiling it on first sight."""
+        key = (table.name, num_hashes)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is table:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        profiles = profile_table(table, num_hashes=num_hashes)
+        self._entries[key] = (table, profiles)
+        return profiles
+
+    def invalidate(self, table_name: str | None = None) -> int:
+        """Drop cached profiles for one table (or all); returns entries dropped."""
+        if table_name is None:
+            stale = list(self._entries)
+        else:
+            stale = [key for key in self._entries if key[0] == table_name]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/invalidation counters (entries are kept)."""
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def stats(self) -> dict[str, int]:
+        """Counters plus current size, for reports and debugging."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class DataRepository:
@@ -15,10 +80,16 @@ class DataRepository:
     The repository plays the role of the heterogeneous data pool a data
     discovery system indexes; ARDA never scans it directly, it only receives
     candidate joins referencing tables by name.
+
+    Every repository owns a :class:`ProfileCache` so that discovery profiles
+    (distinct counts, ranges, MinHash signatures) are computed once per table
+    and reused across runs; mutating the repository through :meth:`replace` or
+    :meth:`remove` invalidates the affected entries.
     """
 
-    def __init__(self, tables: Iterable[Table] = ()):
+    def __init__(self, tables: Iterable[Table] = (), profile_cache: ProfileCache | None = None):
         self._tables: dict[str, Table] = {}
+        self.profile_cache = profile_cache if profile_cache is not None else ProfileCache()
         for table in tables:
             self.add(table)
 
@@ -30,6 +101,22 @@ class DataRepository:
             raise ValueError(f"a table named {table.name!r} is already registered")
         self._tables[table.name] = table
 
+    def replace(self, table: Table) -> None:
+        """Register or overwrite a table, invalidating any cached profiles."""
+        if not table.name:
+            raise ValueError("repository tables must have a non-empty name")
+        self._tables[table.name] = table
+        self.profile_cache.invalidate(table.name)
+
+    def remove(self, name: str) -> None:
+        """Unregister a table, invalidating any cached profiles."""
+        if name not in self._tables:
+            raise KeyError(
+                f"no table named {name!r} in repository; available: {self.table_names}"
+            )
+        del self._tables[name]
+        self.profile_cache.invalidate(name)
+
     def get(self, name: str) -> Table:
         """Look up a table by name."""
         try:
@@ -38,6 +125,10 @@ class DataRepository:
             raise KeyError(
                 f"no table named {name!r} in repository; available: {self.table_names}"
             ) from None
+
+    def profiles(self, name: str, num_hashes: int = 64) -> dict[str, ColumnProfile]:
+        """Column profiles of one table, served from the profile cache."""
+        return self.profile_cache.get_or_profile(self.get(name), num_hashes=num_hashes)
 
     def __contains__(self, name: str) -> bool:
         return name in self._tables

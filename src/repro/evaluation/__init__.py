@@ -7,7 +7,12 @@ from repro.evaluation.evaluator import (
     materialize_full_join,
     regression_error,
 )
-from repro.evaluation.reporting import format_table, records_to_rows
+from repro.evaluation.reporting import (
+    format_stage_breakdown,
+    format_table,
+    records_to_rows,
+    stage_breakdown_rows,
+)
 from repro.evaluation import experiments
 
 __all__ = [
@@ -16,7 +21,9 @@ __all__ = [
     "evaluate_selector_on_matrix",
     "materialize_full_join",
     "regression_error",
+    "format_stage_breakdown",
     "format_table",
     "records_to_rows",
+    "stage_breakdown_rows",
     "experiments",
 ]

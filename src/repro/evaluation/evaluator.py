@@ -211,5 +211,6 @@ def evaluate_augmentation(
             "base_score": report.base_score,
             "improvement": report.improvement,
             "kept_tables": report.kept_tables,
+            "stage_times": report.stage_breakdown(),
         },
     )

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.results import AugmentationReport
 from repro.evaluation.evaluator import EvaluationRecord
 
 
@@ -22,6 +23,28 @@ def records_to_rows(records: Sequence[EvaluationRecord]) -> list[dict]:
         row.update(record.extra)
         rows.append(row)
     return rows
+
+
+def stage_breakdown_rows(reports: Sequence[AugmentationReport]) -> list[dict]:
+    """Per-stage wall-clock rows for a set of augmentation reports.
+
+    One row per report with discovery / coreset / join / selection / other
+    seconds, so sweeps can show where each run spent its time and how the
+    executor choice moved the join share.
+    """
+    rows = []
+    for report in reports:
+        row = {"dataset": report.dataset_name, "executor": report.executor}
+        row.update(
+            {stage: round(seconds, 3) for stage, seconds in report.stage_breakdown().items()}
+        )
+        rows.append(row)
+    return rows
+
+
+def format_stage_breakdown(reports: Sequence[AugmentationReport]) -> str:
+    """Render per-stage timings of augmentation reports as an aligned table."""
+    return format_table(stage_breakdown_rows(reports))
 
 
 def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:

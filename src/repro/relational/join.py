@@ -14,7 +14,7 @@ import numpy as np
 from repro.relational.aggregate import group_by_aggregate, is_unique_on
 from repro.relational.column import Column
 from repro.relational.schema import CATEGORICAL
-from repro.relational.table import Table
+from repro.relational.table import Table, unique_name
 
 
 def _key_tuple(columns: Sequence[Column], index: int) -> tuple:
@@ -40,6 +40,105 @@ def _build_hash_index(columns: Sequence[Column]) -> dict[tuple, int]:
         if key not in index:
             index[key] = i
     return index
+
+
+def _factorize_pair(
+    left_col: Column, right_col: Column
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Encode one key-column pair into shared integer codes (-1 = missing).
+
+    Returns ``None`` when the pair can never match (categorical against
+    numeric), mirroring how tuple equality across those types always fails.
+    """
+    left_is_cat = left_col.ctype is CATEGORICAL
+    if left_is_cat != (right_col.ctype is CATEGORICAL):
+        return None
+    left_valid = ~left_col.missing_mask()
+    right_valid = ~right_col.missing_mask()
+    left_values = left_col.values[left_valid]
+    right_values = right_col.values[right_valid]
+    if left_is_cat:
+        left_values = left_values.astype("U")
+        right_values = right_values.astype("U")
+    _, inverse = np.unique(
+        np.concatenate([left_values, right_values]), return_inverse=True
+    )
+    left_code = np.full(len(left_col), -1, dtype=np.int64)
+    right_code = np.full(len(right_col), -1, dtype=np.int64)
+    left_code[left_valid] = inverse[: len(left_values)]
+    right_code[right_valid] = inverse[len(left_values):]
+    return left_code, right_code
+
+
+def _match_first_occurrence(
+    left_columns: Sequence[Column], right_columns: Sequence[Column]
+) -> np.ndarray:
+    """Vectorised hash-join probe: first matching right row per left row.
+
+    Replicates ``_build_hash_index`` + per-row lookup (first right occurrence
+    wins, rows with a missing key part never match) without the per-row Python
+    loop: each key pair is factorised into shared integer codes, composite keys
+    are packed mixed-radix into one int64, and the probe becomes a
+    ``searchsorted`` against the first occurrence of each right key.  Falls
+    back to the dict-based path if the packed codes would overflow int64
+    (only possible for very wide composite keys over huge domains).
+    """
+    n_left = len(left_columns[0])
+    n_right = len(right_columns[0])
+    left_code = np.zeros(n_left, dtype=np.int64)
+    right_code = np.zeros(n_right, dtype=np.int64)
+    left_ok = np.ones(n_left, dtype=bool)
+    right_ok = np.ones(n_right, dtype=bool)
+    span = 1
+    for left_col, right_col in zip(left_columns, right_columns):
+        pair = _factorize_pair(left_col, right_col)
+        if pair is None:
+            return np.full(n_left, -1, dtype=np.int64)
+        codes_left, codes_right = pair
+        radix = int(max(codes_left.max(initial=-1), codes_right.max(initial=-1))) + 2
+        span *= radix
+        if span > 2**62:
+            return _match_via_hash_index(left_columns, right_columns)
+        left_ok &= codes_left >= 0
+        right_ok &= codes_right >= 0
+        left_code = left_code * radix + (codes_left + 1)
+        right_code = right_code * radix + (codes_right + 1)
+
+    match_index = np.full(n_left, -1, dtype=np.int64)
+    right_rows = np.nonzero(right_ok)[0]
+    if not len(right_rows):
+        return match_index
+    order = np.argsort(right_code[right_rows], kind="stable")
+    sorted_keys = right_code[right_rows][order]
+    sorted_rows = right_rows[order]
+    is_first = np.ones(len(sorted_keys), dtype=bool)
+    is_first[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    unique_keys = sorted_keys[is_first]
+    first_rows = sorted_rows[is_first]
+
+    left_rows = np.nonzero(left_ok)[0]
+    probe = left_code[left_rows]
+    positions = np.searchsorted(unique_keys, probe)
+    in_range = positions < len(unique_keys)
+    clipped = np.clip(positions, 0, len(unique_keys) - 1)
+    hit = in_range & (unique_keys[clipped] == probe)
+    match_index[left_rows[hit]] = first_rows[clipped[hit]]
+    return match_index
+
+
+def _match_via_hash_index(
+    left_columns: Sequence[Column], right_columns: Sequence[Column]
+) -> np.ndarray:
+    """Reference dict-based probe (kept as the overflow fallback)."""
+    hash_index = _build_hash_index(right_columns)
+    n = len(left_columns[0])
+    match_index = np.full(n, -1, dtype=np.int64)
+    for i in range(n):
+        key = _key_tuple(left_columns, i)
+        if None in key:
+            continue
+        match_index[i] = hash_index.get(key, -1)
+    return match_index
 
 
 def left_join(
@@ -78,16 +177,8 @@ def left_join(
         )
 
     right_key_columns = [right.column(k) for k in right_keys]
-    hash_index = _build_hash_index(right_key_columns)
-
     left_key_columns = [left.column(k) for k in left_keys]
-    n = left.num_rows
-    match_index = np.full(n, -1, dtype=np.int64)
-    for i in range(n):
-        key = _key_tuple(left_key_columns, i)
-        if None in key:
-            continue
-        match_index[i] = hash_index.get(key, -1)
+    match_index = _match_first_occurrence(left_key_columns, right_key_columns)
     matched = match_index >= 0
 
     out_columns = list(left.columns())
@@ -96,9 +187,7 @@ def left_join(
     for col in right.columns():
         if col.name in right_key_set:
             continue
-        name = col.name
-        while name in existing:
-            name = name + suffix
+        name = unique_name(col.name, existing, suffix)
         existing.add(name)
         out_columns.append(_gather_right_column(col, name, match_index, matched))
     return Table(out_columns, name=left.name)
@@ -130,12 +219,8 @@ def join_match_fraction(
     """
     if not on or left.num_rows == 0:
         return 0.0
-    right_key_columns = [right.column(pair[1]) for pair in on]
-    keys = set(_build_hash_index(right_key_columns))
-    left_key_columns = [left.column(pair[0]) for pair in on]
-    hits = 0
-    for i in range(left.num_rows):
-        key = _key_tuple(left_key_columns, i)
-        if None not in key and key in keys:
-            hits += 1
-    return hits / left.num_rows
+    match_index = _match_first_occurrence(
+        [left.column(pair[0]) for pair in on],
+        [right.column(pair[1]) for pair in on],
+    )
+    return float(np.mean(match_index >= 0))

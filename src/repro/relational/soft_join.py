@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.relational.column import Column
 from repro.relational.schema import CATEGORICAL
-from repro.relational.table import Table
+from repro.relational.table import Table, unique_name
 
 
 def _sorted_right(right: Table, right_key: str) -> tuple[np.ndarray, np.ndarray]:
@@ -69,9 +69,7 @@ def nearest_join(
     for col in right.columns():
         if col.name == right_key:
             continue
-        name = col.name
-        while name in existing:
-            name = name + suffix
+        name = unique_name(col.name, existing, suffix)
         existing.add(name)
         if col.ctype is CATEGORICAL:
             data = np.empty(n, dtype=object)
@@ -138,9 +136,7 @@ def two_way_nearest_join(
     for col in right.columns():
         if col.name == right_key:
             continue
-        name = col.name
-        while name in existing:
-            name = name + suffix
+        name = unique_name(col.name, existing, suffix)
         existing.add(name)
         if col.ctype is CATEGORICAL:
             data = np.empty(n, dtype=object)

@@ -16,6 +16,18 @@ from repro.relational.schema import (
 )
 
 
+def unique_name(name: str, existing: set[str], suffix: str = "_r") -> str:
+    """Append ``suffix`` to ``name`` until it no longer clashes with ``existing``.
+
+    The single source of truth for column-name collision handling, shared by
+    joins, ``hstack`` and the batch-merge in the join layer so all of them
+    assign the same final names.
+    """
+    while name in existing:
+        name = name + suffix
+    return name
+
+
 class Table:
     """An immutable-by-convention columnar table.
 
@@ -257,9 +269,7 @@ class Table:
         columns = self.columns()
         existing = set(self.column_names)
         for col in other.columns():
-            name = col.name
-            while name in existing:
-                name = name + suffix
+            name = unique_name(col.name, existing, suffix)
             existing.add(name)
             columns.append(col.rename(name))
         return Table(columns, name=self.name)

@@ -78,6 +78,64 @@ class TestLeftJoin:
         assert fraction == pytest.approx(3 / 6)
 
 
+class TestVectorisedProbe:
+    """The vectorised join probe must agree with the dict-based reference."""
+
+    @staticmethod
+    def _both(left, right, on):
+        from repro.relational.join import _match_first_occurrence, _match_via_hash_index
+
+        left_cols = [left.column(a) for a, _ in on]
+        right_cols = [right.column(b) for _, b in on]
+        return (
+            _match_first_occurrence(left_cols, right_cols),
+            _match_via_hash_index(left_cols, right_cols),
+        )
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_reference_on_random_keys(self, seed):
+        rng = np.random.default_rng(seed)
+        n_left, n_right = rng.integers(1, 40, size=2)
+        def numeric(n):
+            vals = rng.integers(0, 8, size=n).astype(np.float64)
+            vals[rng.random(n) < 0.2] = np.nan
+            return vals
+        def categorical(n):
+            return [
+                None if rng.random() < 0.2 else f"g{rng.integers(0, 5)}" for _ in range(n)
+            ]
+        left = Table.from_dict({"k": numeric(n_left), "c": categorical(n_left)}, name="l")
+        right = Table.from_dict({"k": numeric(n_right), "c": categorical(n_right)}, name="r")
+        for on in ([("k", "k")], [("c", "c")], [("k", "k"), ("c", "c")]):
+            fast, reference = self._both(left, right, on)
+            assert np.array_equal(fast, reference)
+
+    def test_cross_type_key_pair_never_matches(self):
+        left = Table.from_dict({"k": [1.0, 2.0]}, name="l")
+        right = Table.from_dict({"k": ["1.0", "2.0"], "v": [1.0, 2.0]}, name="r")
+        fast, reference = self._both(left, right, [("k", "k")])
+        assert np.array_equal(fast, reference)
+        assert (fast == -1).all()
+
+    def test_duplicate_right_keys_first_occurrence_wins(self):
+        left = Table.from_dict({"k": [7.0]}, name="l")
+        right = Table.from_dict({"k": [5.0, 7.0, 7.0], "v": [0.0, 1.0, 2.0]}, name="r")
+        fast, reference = self._both(left, right, [("k", "k")])
+        assert np.array_equal(fast, reference)
+        assert fast[0] == 1
+
+    def test_empty_right_table(self):
+        left = Table.from_dict({"k": [1.0, 2.0]}, name="l")
+        right = Table.from_dict(
+            {"k": np.array([], dtype=np.float64), "v": np.array([], dtype=np.float64)},
+            name="r",
+        )
+        fast, reference = self._both(left, right, [("k", "k")])
+        assert np.array_equal(fast, reference)
+        assert (fast == -1).all()
+
+
 class TestAggregation:
     def test_group_by_mean_and_mode(self):
         table = Table.from_dict(
