@@ -6,7 +6,7 @@ speeds up the pipeline, at the cost of a small decrease in final score.
 
 from repro.evaluation.experiments import experiment_table4_tuple_ratio
 
-from conftest import BENCH_RIFS, BENCH_SCALE, print_rows, run_once
+from conftest import BENCH_SCALE, print_rows, run_once
 
 
 def test_table4_tuple_ratio_prefilter(benchmark):

@@ -8,7 +8,7 @@ due to the extra noise columns.
 
 from repro.evaluation.experiments import experiment_table5_table_grouping
 
-from conftest import BENCH_RIFS, BENCH_SCALE, print_rows, run_once
+from conftest import BENCH_SCALE, print_rows, run_once
 
 
 def test_table5_table_grouping(benchmark):

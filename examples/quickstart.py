@@ -10,7 +10,7 @@ Run with:  python examples/quickstart.py
 
 from repro import ARDA, ARDAConfig
 from repro.datasets import RelationalDatasetBuilder
-from repro.datasets.synthetic import NoiseTableSpec, SignalTableSpec
+from repro.datasets.synthetic import SignalTableSpec
 
 
 def main() -> None:

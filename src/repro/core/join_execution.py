@@ -101,7 +101,10 @@ def _contributed_columns(
     Module-level (not a closure) so the process-pool backend can pickle it.
     The base handed in is a projection onto the candidate's key columns and
     only the new foreign columns travel back, so a process worker never
-    pickles base feature data in either direction.
+    pickles base feature data in either direction.  Categorical columns
+    serialise as int32 code arrays plus their string dictionary (see
+    ``Column.__getstate__``), so even the foreign payload ships no per-row
+    strings.
     """
     base, foreign, candidate, soft_strategy, time_resample, rng = task
     joined = execute_join(

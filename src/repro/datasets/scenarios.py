@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from repro.datasets.bundle import AugmentationDataset
 from repro.datasets.synthetic import (
-    NoiseTableSpec,
     RelationalDatasetBuilder,
     SignalTableSpec,
 )

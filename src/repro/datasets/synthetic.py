@@ -17,7 +17,7 @@ candidate tables and most columns are useless.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from repro.datasets.bundle import AugmentationDataset
 from repro.discovery.candidates import JoinCandidate, KeyPair
 from repro.discovery.repository import DataRepository
 from repro.relational.column import Column
-from repro.relational.schema import CATEGORICAL, DATETIME, NUMERIC
+from repro.relational.schema import DATETIME, NUMERIC
 from repro.relational.table import Table
 
 DAY_SECONDS = 86_400.0

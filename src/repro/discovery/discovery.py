@@ -16,7 +16,6 @@ the predictive model is ARDA's job, not discovery's.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.discovery.candidates import JoinCandidate, KeyPair
 from repro.discovery.profiles import ColumnProfile, profile_table

@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.discovery.minhash import MinHashSignature
 from repro.relational.column import Column
-from repro.relational.schema import CATEGORICAL, DATETIME, ColumnType
+from repro.relational.schema import CATEGORICAL, ColumnType
 from repro.relational.table import Table
 
 
@@ -43,7 +43,13 @@ class ColumnProfile:
 def profile_column(
     table_name: str, column: Column, num_hashes: int = 64, max_minhash_values: int = 2000
 ) -> ColumnProfile:
-    """Profile one column (distinct counts, range, MinHash signature)."""
+    """Profile one column (distinct counts, range, MinHash signature).
+
+    Categorical columns are profiled off their dictionary: ``unique()`` is the
+    dictionary itself for a freshly built column, ``null_count`` is a vector
+    compare on the code array, and the MinHash signature hashes each dictionary
+    entry once — profiling cost scales with the dictionary, not the rows.
+    """
     n = len(column)
     null_count = column.null_count()
     distinct = column.unique()

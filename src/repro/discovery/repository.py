@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -23,55 +24,78 @@ class ProfileCache:
     entries.
 
     ``hits`` / ``misses`` / ``invalidations`` counters are exposed so callers
-    (and tests) can assert that re-profiling was actually skipped.
+    (and tests) can assert that re-profiling was actually skipped.  Entry and
+    counter updates take an internal lock: the cache is shared with
+    :class:`~repro.core.executor.ThreadJoinExecutor` workers, and unlocked
+    ``+= 1`` counter updates from several threads lose increments.  Profiling
+    itself runs outside the lock so concurrent misses on different tables
+    don't serialise; two simultaneous misses on the *same* table may both
+    profile, and the last store wins (profiles are deterministic, so both are
+    identical).
     """
 
     def __init__(self):
         self._entries: dict[tuple[str, int], tuple[Table, dict[str, ColumnProfile]]] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def get_or_profile(self, table: Table, num_hashes: int = 64) -> dict[str, ColumnProfile]:
         """Return cached profiles for ``table``, profiling it on first sight."""
         key = (table.name, num_hashes)
-        entry = self._entries.get(key)
-        if entry is not None and entry[0] is table:
-            self.hits += 1
-            return entry[1]
-        self.misses += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] is table:
+                self.hits += 1
+                return entry[1]
+            self.misses += 1
         profiles = profile_table(table, num_hashes=num_hashes)
-        self._entries[key] = (table, profiles)
+        with self._lock:
+            self._entries[key] = (table, profiles)
         return profiles
 
     def invalidate(self, table_name: str | None = None) -> int:
         """Drop cached profiles for one table (or all); returns entries dropped."""
-        if table_name is None:
-            stale = list(self._entries)
-        else:
-            stale = [key for key in self._entries if key[0] == table_name]
-        for key in stale:
-            del self._entries[key]
-        self.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            if table_name is None:
+                stale = list(self._entries)
+            else:
+                stale = [key for key in self._entries if key[0] == table_name]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
 
     def reset_counters(self) -> None:
         """Zero the hit/miss/invalidation counters (entries are kept)."""
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.invalidations = 0
 
     def stats(self) -> dict[str, int]:
         """Counters plus current size, for reports and debugging."""
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+            }
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 class DataRepository:

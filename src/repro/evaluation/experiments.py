@@ -24,8 +24,6 @@ from repro.evaluation.evaluator import (
     evaluate_base_table,
     evaluate_selector_on_matrix,
     materialize_full_join,
-    regression_error,
-    task_score,
 )
 from repro.ml.automl import AutoMLSearch
 from repro.relational.encoding import to_design_matrix

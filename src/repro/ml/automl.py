@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.ml.base import BaseEstimator, clone, is_classifier
+from repro.ml.base import BaseEstimator, clone
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
 from repro.ml.knn import KNeighborsClassifier, KNeighborsRegressor
 from repro.ml.linear import Lasso, Ridge

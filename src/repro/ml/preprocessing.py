@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import BaseEstimator, check_array
+from repro.relational.column import Column
+from repro.relational.schema import CATEGORICAL
 
 
 class StandardScaler(BaseEstimator):
@@ -74,13 +76,21 @@ class MinMaxScaler(BaseEstimator):
 
 
 class LabelEncoder(BaseEstimator):
-    """Encode arbitrary labels as integer class codes 0..K-1."""
+    """Encode arbitrary labels as integer class codes 0..K-1.
+
+    Accepts plain arrays/sequences or a categorical :class:`Column`, in which
+    case fitting reads the (tiny) dictionary and transforming is one integer
+    gather over the stored codes — the row strings are never materialised.
+    """
 
     def __init__(self):
         self.classes_: np.ndarray | None = None
 
     def fit(self, y) -> "LabelEncoder":
         """Learn the sorted set of distinct labels."""
+        if isinstance(y, Column) and y.ctype is CATEGORICAL:
+            self.classes_ = np.array(sorted(y.unique()), dtype=object)
+            return self
         self.classes_ = np.unique(np.asarray(y).ravel())
         return self
 
@@ -88,12 +98,36 @@ class LabelEncoder(BaseEstimator):
         """Map labels to their class codes."""
         if self.classes_ is None:
             raise RuntimeError("LabelEncoder must be fitted before transform")
+        if isinstance(y, Column) and y.ctype is CATEGORICAL:
+            return self._transform_codes(y)
         y = np.asarray(y).ravel()
+        if y.dtype.kind in "fiub" and self.classes_.dtype.kind in "fiub":
+            # numeric labels: binary-search instead of a per-value dict lookup
+            if len(y) and not len(self.classes_):
+                raise ValueError(f"unseen label {y[0]!r}")
+            positions = np.searchsorted(self.classes_, y)
+            clipped = np.minimum(positions, len(self.classes_) - 1)
+            unseen = (positions >= len(self.classes_)) | (self.classes_[clipped] != y)
+            if unseen.any():
+                raise ValueError(f"unseen label {y[np.argmax(unseen)]!r}")
+            return clipped.astype(np.int64)
         index = {cls: i for i, cls in enumerate(self.classes_)}
         try:
             return np.array([index[v] for v in y], dtype=np.int64)
         except KeyError as exc:
             raise ValueError(f"unseen label {exc.args[0]!r}") from None
+
+    def _transform_codes(self, column: Column) -> np.ndarray:
+        """Translate a categorical column's dictionary codes into class codes."""
+        index = {cls: i for i, cls in enumerate(self.classes_)}
+        translate = np.full(len(column.dictionary) + 1, -1, dtype=np.int64)
+        for code, text in enumerate(column.dictionary):
+            translate[code] = index.get(text, -1)
+        out = translate[column.codes]
+        if (out < 0).any():
+            bad = int(np.argmax(out < 0))
+            raise ValueError(f"unseen label {column.value_at(bad)!r}")
+        return out
 
     def fit_transform(self, y) -> np.ndarray:
         """Fit and transform in one step."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.base import BaseEstimator, check_array, check_X_y
+from repro.ml.base import BaseEstimator, check_array
 
 
 def l21_norm(matrix: np.ndarray, eps: float = 0.0) -> float:

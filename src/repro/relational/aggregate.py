@@ -3,6 +3,14 @@
 ARDA pre-aggregates foreign tables on their join keys so that one-to-many and
 many-to-many joins reduce to the row-preserving one-to-one / many-to-one cases
 (paper section 4, "Join Cardinality").
+
+Group identification is fully vectorised on top of the columnar storage:
+categorical key columns contribute their dictionary codes directly, numeric
+key columns are factorised once, and the per-column codes are packed
+mixed-radix into a single ``int64`` per row (the same trick the hash-join
+probe uses).  A Python-loop fallback is kept for the pathological case where
+the packed key space would overflow ``int64``; it doubles as the reference
+implementation the property tests compare against.
 """
 
 from __future__ import annotations
@@ -28,6 +36,40 @@ def _mode(values: np.ndarray):
     return max(counts.items(), key=lambda kv: kv[1])[0]
 
 
+def _mode_codes_per_group(
+    sorted_codes: np.ndarray, sorted_group_ids: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """Per-group most frequent non-missing code (-1 where all missing).
+
+    One ``lexsort`` over the (group, code) pairs replaces a per-group counting
+    loop, so the cost is O(n log n) regardless of group count or dictionary
+    size.  Ties break toward the code that appears first in the group's row
+    order, matching the insertion-order tie-break of the object-array
+    :func:`_mode`.
+    """
+    out = np.full(n_groups, -1, dtype=np.int32)
+    valid = sorted_codes >= 0
+    if not valid.any():
+        return out
+    groups = sorted_group_ids[valid].astype(np.int64)
+    codes = sorted_codes[valid].astype(np.int64)
+    order = np.lexsort((codes, groups))  # stable: row order survives within runs
+    g, c = groups[order], codes[order]
+    run_start = np.ones(len(g), dtype=bool)
+    run_start[1:] = (g[1:] != g[:-1]) | (c[1:] != c[:-1])
+    starts = np.nonzero(run_start)[0]
+    counts = np.diff(np.append(starts, len(g)))
+    pair_group = g[starts]
+    pair_code = c[starts]
+    first_row = order[starts]  # earliest row (slice order) of each (group, code)
+    best = np.lexsort((first_row, -counts, pair_group))
+    keep = np.ones(len(best), dtype=bool)
+    keep[1:] = pair_group[best[1:]] != pair_group[best[:-1]]
+    chosen = best[keep]
+    out[pair_group[chosen]] = pair_code[chosen]
+    return out
+
+
 _NUMERIC_AGGS: dict[str, Callable[[np.ndarray], float]] = {
     "mean": lambda v: float(np.nanmean(v)) if np.any(~np.isnan(v)) else float("nan"),
     "sum": lambda v: float(np.nansum(v)) if np.any(~np.isnan(v)) else float("nan"),
@@ -46,32 +88,77 @@ _CATEGORICAL_AGGS: dict[str, Callable[[np.ndarray], object]] = {
 }
 
 
-def group_keys(table: Table, keys: Sequence[str]) -> tuple[np.ndarray, list[tuple]]:
-    """Assign a group id to each row based on the tuple of key values.
+def column_group_codes(col: Column) -> tuple[np.ndarray, int]:
+    """Per-row ``int64`` equality codes of a column, with ``-1`` for missing.
 
-    Returns ``(group_ids, distinct_key_tuples)`` where ``group_ids[i]`` indexes
-    into ``distinct_key_tuples``.  Missing key values participate as their own
-    group (keyed by ``None`` / ``NaN`` represented as ``None``).
+    Returns ``(codes, domain)`` where all non-missing codes are in
+    ``[0, domain)``.  Categorical columns reuse their dictionary codes for
+    free; float-backed columns are factorised with one ``np.unique``.
+    """
+    if col.ctype is CATEGORICAL:
+        return col.codes.astype(np.int64), len(col.dictionary)
+    values = col.values
+    valid = ~np.isnan(values)
+    codes = np.full(len(values), -1, dtype=np.int64)
+    if valid.any():
+        _, inverse = np.unique(values[valid], return_inverse=True)
+        codes[valid] = inverse
+        return codes, int(inverse.max()) + 1
+    return codes, 0
+
+
+def _group_rows(table: Table, keys: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised group identification.
+
+    Returns ``(group_ids, first_rows)``: ``group_ids[i]`` is the group of row
+    ``i``, groups are numbered by first appearance, and ``first_rows[g]`` is
+    the first row index of group ``g``.  Missing key values participate as
+    their own key symbol, exactly like the object-tuple fallback.
     """
     key_columns = [table.column(k) for k in keys]
     n = table.num_rows
-    tuples: list[tuple] = []
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    packed = np.zeros(n, dtype=np.int64)
+    span = 1
+    for col in key_columns:
+        codes, domain = column_group_codes(col)
+        radix = domain + 1
+        span *= radix
+        if span > 2**62:
+            return _group_rows_fallback(table, keys)
+        packed = packed * radix + (codes + 1)
+    _, first_seen, inverse = np.unique(packed, return_index=True, return_inverse=True)
+    appearance = np.argsort(first_seen, kind="stable")
+    rank = np.empty(len(first_seen), dtype=np.int64)
+    rank[appearance] = np.arange(len(first_seen))
+    return rank[inverse], first_seen[appearance]
+
+
+def _group_rows_fallback(table: Table, keys: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Object-tuple group identification (reference path / overflow fallback)."""
+    key_columns = [table.column(k) for k in keys]
+    n = table.num_rows
     index_of: dict[tuple, int] = {}
     group_ids = np.empty(n, dtype=np.int64)
+    first_rows: list[int] = []
     for i in range(n):
         parts = []
         for col in key_columns:
-            value = col.values[i]
+            value = col.value_at(i)
             if col.ctype is CATEGORICAL:
                 parts.append(value)
             else:
                 parts.append(None if np.isnan(value) else float(value))
         key = tuple(parts)
-        if key not in index_of:
-            index_of[key] = len(tuples)
-            tuples.append(key)
-        group_ids[i] = index_of[key]
-    return group_ids, tuples
+        group = index_of.get(key)
+        if group is None:
+            group = len(first_rows)
+            index_of[key] = group
+            first_rows.append(i)
+        group_ids[i] = group
+    return group_ids, np.array(first_rows, dtype=np.int64)
 
 
 def group_by_aggregate(
@@ -91,24 +178,16 @@ def group_by_aggregate(
     if not keys:
         raise ValueError("group_by_aggregate requires at least one key column")
     agg_overrides = dict(agg_overrides or {})
-    group_ids, tuples = group_keys(table, keys)
-    n_groups = len(tuples)
+    group_ids, first_rows = _group_rows(table, keys)
+    n_groups = len(first_rows)
     order = np.argsort(group_ids, kind="stable")
     sorted_ids = group_ids[order]
     boundaries = np.searchsorted(sorted_ids, np.arange(n_groups))
     boundaries = np.append(boundaries, len(sorted_ids))
 
-    out_columns: list[Column] = []
-    for k_index, key in enumerate(keys):
-        col = table.column(key)
-        values = [tuples[g][k_index] for g in range(n_groups)]
-        if col.ctype is CATEGORICAL:
-            out_columns.append(Column(key, values, CATEGORICAL))
-        else:
-            floats = np.array(
-                [np.nan if v is None else v for v in values], dtype=np.float64
-            )
-            out_columns.append(Column.from_array(key, floats, col.ctype))
+    # key columns: the first row of each group carries the group's key values,
+    # so a single take-view per key column replaces the old tuple rebuild
+    out_columns: list[Column] = [table.column(key).take(first_rows) for key in keys]
 
     key_set = set(keys)
     for col in table.columns():
@@ -118,17 +197,9 @@ def group_by_aggregate(
             col.name, categorical_agg if col.ctype is CATEGORICAL else numeric_agg
         )
         if col.ctype is CATEGORICAL:
-            agg_fn = _CATEGORICAL_AGGS.get(agg_name)
-            if agg_fn is None:
-                raise ValueError(f"unknown categorical aggregate {agg_name!r}")
-            data = col.values[order]
-            values = [
-                agg_fn(data[boundaries[g]:boundaries[g + 1]]) for g in range(n_groups)
-            ]
-            if agg_name == "nunique":
-                out_columns.append(Column(col.name, values, NUMERIC))
-            else:
-                out_columns.append(Column(col.name, values, CATEGORICAL))
+            out_columns.append(
+                _aggregate_categorical(col, agg_name, order, boundaries, n_groups)
+            )
         else:
             agg_fn = _NUMERIC_AGGS.get(agg_name)
             if agg_fn is None:
@@ -142,7 +213,28 @@ def group_by_aggregate(
     return Table(out_columns, name=table.name)
 
 
+def _aggregate_categorical(
+    col: Column, agg_name: str, order: np.ndarray, boundaries: np.ndarray, n_groups: int
+) -> Column:
+    """Aggregate one categorical column on its code array."""
+    sorted_codes = col.codes[order]
+    if agg_name == "first":
+        out = sorted_codes[boundaries[:-1]] if n_groups else np.empty(0, dtype=np.int32)
+        return Column.from_codes(col.name, out.astype(np.int32), col.dictionary)
+    if agg_name == "mode":
+        sorted_ids = np.repeat(np.arange(n_groups, dtype=np.int64), np.diff(boundaries))
+        out = _mode_codes_per_group(sorted_codes, sorted_ids, n_groups)
+        return Column.from_codes(col.name, out, col.dictionary)
+    if agg_name == "nunique":
+        values = np.empty(n_groups, dtype=np.float64)
+        for g in range(n_groups):
+            chunk = sorted_codes[boundaries[g]:boundaries[g + 1]]
+            values[g] = len(np.unique(chunk[chunk >= 0]))
+        return Column.from_array(col.name, values, NUMERIC)
+    raise ValueError(f"unknown categorical aggregate {agg_name!r}")
+
+
 def is_unique_on(table: Table, keys: Sequence[str]) -> bool:
     """Whether the key tuples identify rows uniquely."""
-    group_ids, tuples = group_keys(table, keys)
-    return len(tuples) == table.num_rows
+    _, first_rows = _group_rows(table, keys)
+    return len(first_rows) == table.num_rows

@@ -7,14 +7,14 @@ ensemble) and leaves numeric / datetime / boolean columns as-is.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.relational.column import Column
 from repro.relational.imputation import impute_table
-from repro.relational.schema import CATEGORICAL, NUMERIC
+from repro.relational.schema import CATEGORICAL
 from repro.relational.table import Table
 
 
@@ -69,7 +69,7 @@ def encode_features(
         if col.ctype is CATEGORICAL:
             block, names = _encode_categorical(col, max_categories)
         else:
-            block = col.values.astype(np.float64).reshape(n, -1)
+            block = np.asarray(col.values, dtype=np.float64).reshape(n, -1)
             names = [col.name]
         blocks.append(block)
         feature_names.extend(names)
@@ -83,28 +83,32 @@ def encode_features(
 
 
 def _encode_categorical(col: Column, max_categories: int) -> tuple[np.ndarray, list[str]]:
-    """One-hot or frequency encode a categorical column."""
-    values = col.values
-    n = len(values)
+    """One-hot or frequency encode a categorical column.
+
+    Both encodings run on the dictionary codes: per-category work touches only
+    the (small) dictionary and the per-row work is integer gathers — the row
+    strings are never materialised.
+    """
+    codes = col.codes
+    n = len(codes)
     categories = col.unique()
     if 0 < len(categories) <= max_categories:
+        # translate dictionary codes into one-hot column positions
+        position = {cat: j for j, cat in enumerate(categories)}
+        code_to_column = np.full(len(col.dictionary) + 1, -1, dtype=np.int64)
+        for code, cat in enumerate(col.dictionary):
+            code_to_column[code] = position.get(cat, -1)
+        columns = code_to_column[codes]
         block = np.zeros((n, len(categories)), dtype=np.float64)
-        index = {cat: j for j, cat in enumerate(categories)}
-        for i, value in enumerate(values):
-            j = index.get(value)
-            if j is not None:
-                block[i, j] = 1.0
+        rows = np.nonzero(columns >= 0)[0]
+        block[rows, columns[rows]] = 1.0
         names = [f"{col.name}={cat}" for cat in categories]
         return block, names
-    # frequency encoding for high-cardinality (or all-missing) columns
-    counts: dict = {}
-    for value in values:
-        if value is not None:
-            counts[value] = counts.get(value, 0) + 1
-    block = np.zeros((n, 1), dtype=np.float64)
-    for i, value in enumerate(values):
-        block[i, 0] = counts.get(value, 0) / max(n, 1)
-    return block, [f"{col.name}__freq"]
+    # frequency encoding for high-cardinality (or all-missing) columns; the
+    # count table has one spare slot so that code -1 reads a count of zero
+    counts = np.bincount(codes[codes >= 0], minlength=len(col.dictionary) + 1)
+    frequency = counts[codes] / max(n, 1)
+    return frequency.reshape(n, 1).astype(np.float64), [f"{col.name}__freq"]
 
 
 def to_design_matrix(
@@ -128,11 +132,16 @@ def to_design_matrix(
 
 
 def encode_target(column: Column) -> np.ndarray:
-    """Encode a target column: floats for numeric, class codes for categorical."""
+    """Encode a target column: floats for numeric, class codes for categorical.
+
+    Categorical targets map through the dictionary (sorted distinct values get
+    class codes 0..K-1, missing values -1) with one integer gather per row.
+    """
     if column.ctype is CATEGORICAL:
-        categories = sorted({v for v in column.values if v is not None})
+        categories = sorted(column.unique())
         index = {cat: i for i, cat in enumerate(categories)}
-        return np.array(
-            [index.get(v, -1) for v in column.values], dtype=np.float64
-        )
+        code_to_class = np.full(len(column.dictionary) + 1, -1.0, dtype=np.float64)
+        for code, cat in enumerate(column.dictionary):
+            code_to_class[code] = index.get(cat, -1)
+        return code_to_class[column.codes]
     return column.values.astype(np.float64)

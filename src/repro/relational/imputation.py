@@ -16,13 +16,13 @@ from repro.relational.table import Table
 
 def impute_numeric_median(column: Column) -> Column:
     """Replace NaNs with the column median (0.0 if the column is all-missing)."""
-    values = column.values.astype(np.float64)
+    values = column.values
     mask = np.isnan(values)
     if not mask.any():
         return column
     observed = values[~mask]
     fill = float(np.median(observed)) if len(observed) else 0.0
-    out = values.copy()
+    out = values.astype(np.float64)
     out[mask] = fill
     return Column.from_array(column.name, out, column.ctype)
 
@@ -32,23 +32,32 @@ def impute_categorical_random(
 ) -> Column:
     """Replace missing categorical values with uniform samples of observed ones.
 
+    Runs entirely on the dictionary codes: the observed codes are sampled in
+    row order (so the draws match the old object-array path exactly) and the
+    dictionary is shared with the input column.
+
     If every value is missing, the placeholder string ``"__missing__"`` is
     used so downstream encoding still produces a (constant) feature.
     """
     if rng is None:
         rng = np.random.default_rng(0)
-    values = column.values
-    mask = np.array([v is None for v in values], dtype=bool)
+    codes = column.codes
+    mask = codes < 0
     if not mask.any():
         return column
-    observed = [v for v in values if v is not None]
-    out = values.copy()
-    if observed:
+    observed = codes[~mask]
+    if len(observed):
         picks = rng.integers(0, len(observed), size=int(mask.sum()))
-        out[mask] = [observed[p] for p in picks]
-    else:
-        out[mask] = "__missing__"
-    return Column.from_array(column.name, out, column.ctype)
+        out = codes.copy()
+        out[mask] = observed[picks]
+        return Column.from_codes(column.name, out, column.dictionary)
+    placeholder = np.array(["__missing__"], dtype=object)
+    return Column.from_codes(
+        column.name,
+        np.zeros(len(codes), dtype=np.int32),
+        placeholder,
+        dict_exact=True,
+    )
 
 
 def impute_table(

@@ -8,8 +8,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.relational.column import Column
-from repro.relational.schema import CATEGORICAL, DATETIME, NUMERIC, ColumnType
+from repro.relational.schema import CATEGORICAL, DATETIME, ColumnType
 from repro.relational.table import Table
 
 _MISSING_TOKENS = {"", "na", "n/a", "nan", "null", "none"}
@@ -61,11 +60,13 @@ def write_csv(table: Table, path: str | Path) -> None:
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow([col.name for col in columns])
+        # decode each column once up front (views resolve, categoricals decode)
+        arrays = [col.values for col in columns]
         for i in range(table.num_rows):
-            row = []
-            for col in columns:
-                value = col.values[i]
-                row.append(_format_cell(value, col.ctype))
+            row = [
+                _format_cell(array[i], col.ctype)
+                for col, array in zip(columns, arrays)
+            ]
             writer.writerow(row)
 
 

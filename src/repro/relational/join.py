@@ -12,7 +12,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.relational.aggregate import group_by_aggregate, is_unique_on
-from repro.relational.column import Column
+from repro.relational.column import Column, remap_dictionary
 from repro.relational.schema import CATEGORICAL
 from repro.relational.table import Table, unique_name
 
@@ -49,17 +49,26 @@ def _factorize_pair(
 
     Returns ``None`` when the pair can never match (categorical against
     numeric), mirroring how tuple equality across those types always fails.
+
+    Categorical pairs never touch row-level strings: the two dictionaries are
+    reconciled into one shared code space (a dictionary is tiny compared to the
+    rows), and the stored code arrays are translated with one integer gather.
     """
     left_is_cat = left_col.ctype is CATEGORICAL
     if left_is_cat != (right_col.ctype is CATEGORICAL):
         return None
+    if left_is_cat:
+        shared: dict[str, int] = {
+            text: code for code, text in enumerate(left_col.dictionary)
+        }
+        translate = remap_dictionary(right_col.dictionary, shared)
+        left_code = left_col.codes.astype(np.int64)
+        right_code = translate[right_col.codes].astype(np.int64)
+        return left_code, right_code
     left_valid = ~left_col.missing_mask()
     right_valid = ~right_col.missing_mask()
     left_values = left_col.values[left_valid]
     right_values = right_col.values[right_valid]
-    if left_is_cat:
-        left_values = left_values.astype("U")
-        right_values = right_values.astype("U")
     _, inverse = np.unique(
         np.concatenate([left_values, right_values]), return_inverse=True
     )
@@ -196,14 +205,17 @@ def left_join(
 def _gather_right_column(
     col: Column, name: str, match_index: np.ndarray, matched: np.ndarray
 ) -> Column:
-    """Pull right-table values into left-row order, NULL where unmatched."""
+    """Pull right-table values into left-row order, NULL where unmatched.
+
+    Categorical columns are gathered as int32 codes sharing the right column's
+    dictionary — no string is touched during join materialisation.
+    """
     n = len(match_index)
     if col.ctype is CATEGORICAL:
-        out = np.empty(n, dtype=object)
-        out[:] = None
+        out = np.full(n, -1, dtype=np.int32)
         if matched.any():
-            out[matched] = col.values[match_index[matched]]
-        return Column.from_array(name, out, col.ctype)
+            out[matched] = col.codes[match_index[matched]]
+        return Column.from_codes(name, out, col.dictionary)
     out = np.full(n, np.nan, dtype=np.float64)
     if matched.any():
         out[matched] = col.values[match_index[matched]]

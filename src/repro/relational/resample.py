@@ -9,13 +9,10 @@ rows that fall into the same bucket before joining (section 4,
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from repro.relational.aggregate import group_by_aggregate
 from repro.relational.column import Column
-from repro.relational.schema import DATETIME
 from repro.relational.table import Table
 
 SECOND = 1.0

@@ -3,7 +3,9 @@
 The engine supports four logical column types.  Numeric, datetime and boolean
 columns are stored as ``float64`` arrays (datetimes as epoch seconds, booleans
 as 0.0/1.0) with ``NaN`` marking missing values.  Categorical columns are
-stored as object arrays of strings with ``None`` marking missing values.
+dictionary encoded: an ``int32`` code array (``-1`` marking missing values)
+plus a shared dictionary of distinct strings; reading ``Column.values`` still
+yields the object-array-of-strings view of the data, decoded on demand.
 """
 
 from __future__ import annotations

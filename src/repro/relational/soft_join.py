@@ -72,15 +72,15 @@ def nearest_join(
         name = unique_name(col.name, existing, suffix)
         existing.add(name)
         if col.ctype is CATEGORICAL:
-            data = np.empty(n, dtype=object)
-            data[:] = None
+            codes = np.full(n, -1, dtype=np.int32)
             if matched.any():
-                data[matched] = col.values[match_index[matched]]
+                codes[matched] = col.codes[match_index[matched]]
+            out_columns.append(Column.from_codes(name, codes, col.dictionary))
         else:
             data = np.full(n, np.nan, dtype=np.float64)
             if matched.any():
                 data[matched] = col.values[match_index[matched]]
-        out_columns.append(Column.from_array(name, data, col.ctype))
+            out_columns.append(Column.from_array(name, data, col.ctype))
     return Table(out_columns, name=left.name)
 
 
@@ -139,12 +139,12 @@ def two_way_nearest_join(
         name = unique_name(col.name, existing, suffix)
         existing.add(name)
         if col.ctype is CATEGORICAL:
-            data = np.empty(n, dtype=object)
-            data[:] = None
+            codes = np.full(n, -1, dtype=np.int32)
             if matched.any():
                 picks = rng.random(n) < lam
                 chosen = np.where(picks, low_index, high_index)
-                data[matched] = col.values[chosen[matched]]
+                codes[matched] = col.codes[chosen[matched]]
+            out_columns.append(Column.from_codes(name, codes, col.dictionary))
         else:
             data = np.full(n, np.nan, dtype=np.float64)
             if matched.any():
@@ -155,5 +155,5 @@ def two_way_nearest_join(
                 blend = np.where(np.isnan(low_vals), high_vals, blend)
                 blend = np.where(np.isnan(high_vals), low_vals, blend)
                 data[matched] = blend
-        out_columns.append(Column.from_array(name, data, col.ctype))
+            out_columns.append(Column.from_array(name, data, col.ctype))
     return Table(out_columns, name=left.name)

@@ -6,10 +6,9 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.relational.column import Column, concat_columns, infer_type
+from repro.relational.column import Column, concat_columns
 from repro.relational.schema import (
     CATEGORICAL,
-    NUMERIC,
     ColumnSpec,
     ColumnType,
     Schema,
@@ -159,7 +158,7 @@ class Table:
 
     def row(self, index: int) -> dict:
         """Return a single row as a dictionary."""
-        return {name: col.values[index] for name, col in self._columns.items()}
+        return {name: col.value_at(index) for name, col in self._columns.items()}
 
     def iter_rows(self) -> Iterable[dict]:
         """Iterate over rows as dictionaries."""
@@ -222,24 +221,36 @@ class Table:
     # -- row-level operations ------------------------------------------------------
 
     def take(self, indices: np.ndarray) -> "Table":
-        """Select rows by integer position (supports repeats and reordering)."""
+        """Select rows by integer position (supports repeats and reordering).
+
+        Returns an index-backed view: every column defers its gather until the
+        data is read, so coreset sampling and batch-join probing never copy
+        feature columns they do not touch.
+        """
         indices = np.asarray(indices)
         return Table([col.take(indices) for col in self.columns()], name=self.name)
 
     def filter(self, mask: np.ndarray) -> "Table":
-        """Select rows where ``mask`` is True."""
+        """Select rows where ``mask`` is True (lazy, like :meth:`take`)."""
         mask = np.asarray(mask, dtype=bool)
         if len(mask) != self.num_rows:
             raise ValueError("mask length does not match row count")
-        return Table([col.filter(mask) for col in self.columns()], name=self.name)
+        indices = np.nonzero(mask)[0]
+        return Table([col.take(indices) for col in self.columns()], name=self.name)
 
     def sort_by(self, name: str, descending: bool = False) -> "Table":
         """Sort rows by one column (missing values last)."""
         col = self.column(name)
         if col.ctype is CATEGORICAL:
-            keys = np.array(
-                [v if v is not None else "￿" for v in col.values], dtype=object
-            )
+            # rank the dictionary entries once (plus a max-codepoint sentinel
+            # that keeps missing values sorting last, as the object-array
+            # representation did) and argsort the per-row ranks
+            dictionary = col.dictionary
+            extended = np.empty(len(dictionary) + 1, dtype=object)
+            extended[: len(dictionary)] = dictionary
+            extended[len(dictionary)] = "￿"
+            _, ranks = np.unique(extended, return_inverse=True)
+            keys = ranks[col.codes]
             order = np.argsort(keys, kind="stable")
         else:
             order = np.argsort(col.values, kind="stable")

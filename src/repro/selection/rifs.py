@@ -21,7 +21,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.ml.base import BaseEstimator
 from repro.selection.aggregate import aggregate_rankings, fraction_ahead_of_all_noise
 from repro.selection.base import (
     FeatureRanker,

@@ -8,7 +8,6 @@ blind to interactions and vulnerable to spuriously correlated noise.
 from __future__ import annotations
 
 import numpy as np
-from scipy import stats
 
 from repro.selection.base import CLASSIFICATION, FeatureRanker
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.base import BaseEstimator
 from repro.selection.base import (
     FeatureSelector,
     SelectionResult,

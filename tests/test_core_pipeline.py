@@ -1,13 +1,12 @@
 """Integration tests for join planning, join execution and the full ARDA pipeline."""
 
-import numpy as np
 import pytest
 
-from repro import ARDA, ARDAConfig, load_dataset
+from repro import ARDA, ARDAConfig
 from repro.core.join_execution import execute_join, join_candidates
 from repro.core.join_plan import build_join_plan, estimate_feature_count
 from repro.datasets import RelationalDatasetBuilder
-from repro.datasets.synthetic import NoiseTableSpec, SignalTableSpec
+from repro.datasets.synthetic import SignalTableSpec
 from repro.discovery.candidates import JoinCandidate, KeyPair
 from repro.discovery.repository import DataRepository
 from repro.relational import Table

@@ -1,7 +1,5 @@
 """Smoke tests for the experiment harness (tiny configurations of every table/figure)."""
 
-import pytest
-
 from repro.evaluation import experiments
 
 TINY = {"scale": 0.15, "rifs_options": {"n_rounds": 1}}

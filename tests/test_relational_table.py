@@ -6,7 +6,7 @@ from hypothesis import given, strategies as st
 
 from repro.relational import Table
 from repro.relational.column import Column
-from repro.relational.schema import CATEGORICAL, NUMERIC
+from repro.relational.schema import CATEGORICAL
 
 
 class TestConstruction:

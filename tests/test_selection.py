@@ -10,12 +10,10 @@ from repro.selection import (
     AllFeaturesSelector,
     BackwardElimination,
     Chi2Ranker,
-    FTestRanker,
     ForwardSelection,
     LassoRanker,
     LinearSVCRanker,
     LogisticRegressionRanker,
-    MutualInformationRanker,
     PearsonRanker,
     RandomForestRanker,
     RecursiveFeatureElimination,
