@@ -22,8 +22,10 @@ from __future__ import annotations
 
 import argparse
 import hashlib
+import json
 import time
 import tracemalloc
+from pathlib import Path
 
 import numpy as np
 
@@ -270,6 +272,7 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
     parser.add_argument("--rows", type=int, default=None, help="override base-table row count")
+    parser.add_argument("--json", type=Path, default=None, help="write results as JSON")
     args = parser.parse_args()
     n_left = args.rows or (20_000 if args.quick else 200_000)
     n_right = max(1000, n_left // 4)
@@ -294,6 +297,9 @@ def main() -> int:
             f"{row['bench']:<12} {row['legacy_s'] * 1e3:>8.1f}ms {row['new_s'] * 1e3:>8.1f}ms "
             f"{row['speedup']:>8.1f}x   {extra}"
         )
+    if args.json:
+        args.json.write_text(json.dumps({"suite": "columnar", "results": results}, indent=2))
+        print(f"\nwrote {args.json}")
     return 0
 
 

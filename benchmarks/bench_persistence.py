@@ -1,0 +1,196 @@
+"""Benchmarks for the disk-backed repository and persistent profile cache.
+
+Measures, on a generated repository of native binary tables:
+
+* **save** — CSV-free ingestion throughput: writing every table in the
+  binary columnar format (atomic temp-file + rename per table).
+* **cold-open** — cataloguing the repository from file headers only; verifies
+  via the persist layer's byte accounting that opening reads **< 5% of total
+  file bytes** before any table access (the lazy-loading contract).
+* **lazy-load vs eager-load** — materialising the large table memory-mapped
+  (headers + string dictionaries only) vs fully read into RAM.
+* **profile-cold vs profile-cached** — discovery startup on the large
+  (>= 200k rows) table: loading + profiling from scratch vs serving the
+  persisted profile sidecar; asserts the cached path is **>= 5x** faster.
+
+Standalone on purpose (no pytest-benchmark dependency) so CI can smoke it:
+
+    PYTHONPATH=src python benchmarks/bench_persistence.py --quick --json BENCH_persistence.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.discovery.repository import DataRepository, PROFILE_SIDECAR, TABLE_SUFFIX
+from repro.relational import persist
+from repro.relational.table import Table
+
+BIG_TABLE = "events"
+
+
+def build_small_table(index: int, rows: int) -> Table:
+    """One catalog filler table: an id key, a tag column and two measures."""
+    rng = np.random.default_rng(1000 + index)
+    return Table.from_dict(
+        {
+            "entity_id": [f"user-{i:06d}" for i in rng.integers(0, rows * 4, size=rows)],
+            "tag": [f"tag-{i:03d}" for i in rng.integers(0, 50, size=rows)],
+            "measure_a": rng.normal(size=rows),
+            "measure_b": rng.normal(size=rows),
+        },
+        name=f"aux_{index:03d}",
+    )
+
+
+def build_big_table(rows: int) -> Table:
+    """The >= 200k-row table the profiling benchmark runs against."""
+    rng = np.random.default_rng(7)
+    return Table.from_dict(
+        {
+            "entity_id": [f"user-{i:06d}" for i in rng.integers(0, rows // 4, size=rows)],
+            "label": [f"label-{i:04d}" for i in rng.integers(0, 5000, size=rows)],
+            "f0": rng.normal(size=rows),
+            "f1": rng.normal(size=rows),
+            "f2": rng.uniform(size=rows),
+            "f3": rng.normal(size=rows) ** 2,
+            "target": rng.normal(size=rows),
+        },
+        name=BIG_TABLE,
+    )
+
+
+def _timed(fn, repeats: int):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    parser.add_argument("--tables", type=int, default=100, help="number of catalog tables")
+    parser.add_argument("--rows", type=int, default=200_000, help="rows in the large table")
+    parser.add_argument("--json", type=Path, default=None, help="write results as JSON")
+    args = parser.parse_args()
+    small_rows = 2_000 if args.quick else 20_000
+    repeats = 2 if args.quick else 3
+    results: list[dict] = []
+    failures: list[str] = []
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_persistence_"))
+    try:
+        print(f"building {args.tables} x {small_rows}-row tables + 1 x {args.rows}-row table")
+        tables = [build_small_table(i, small_rows) for i in range(args.tables)]
+        big = build_big_table(args.rows)
+
+        # -- save --------------------------------------------------------------
+        def run_save():
+            for table in tables:
+                table.save(workdir / f"{table.name}{TABLE_SUFFIX}")
+            big.save(workdir / f"{BIG_TABLE}{TABLE_SUFFIX}")
+
+        save_s, _ = _timed(run_save, 1)
+        total_bytes = sum(p.stat().st_size for p in workdir.glob(f"*{TABLE_SUFFIX}"))
+        results.append(
+            {
+                "bench": "save",
+                "seconds": save_s,
+                "tables": args.tables + 1,
+                "mb": total_bytes / 1e6,
+                "mb_per_s": total_bytes / 1e6 / save_s,
+            }
+        )
+
+        # -- cold-open: headers only ------------------------------------------
+        def run_open():
+            persist.reset_bytes_read()
+            repo = DataRepository.open(workdir, load_profiles=False)
+            return len(repo), persist.bytes_read()
+
+        open_s, (n_catalogued, open_bytes) = _timed(run_open, repeats)
+        read_fraction = open_bytes / total_bytes
+        results.append(
+            {
+                "bench": "cold-open",
+                "seconds": open_s,
+                "tables": n_catalogued,
+                "bytes_read": open_bytes,
+                "total_bytes": total_bytes,
+                "read_fraction": read_fraction,
+            }
+        )
+        if read_fraction >= 0.05:
+            failures.append(
+                f"cold-open read {read_fraction:.1%} of file bytes (contract: < 5%)"
+            )
+
+        # -- lazy vs eager load of the large table ----------------------------
+        big_path = workdir / f"{BIG_TABLE}{TABLE_SUFFIX}"
+        lazy_s, _ = _timed(lambda: Table.load(big_path, mmap=True), repeats)
+        eager_s, _ = _timed(lambda: Table.load(big_path, mmap=False), repeats)
+        results.append({"bench": "lazy-load", "seconds": lazy_s})
+        results.append(
+            {"bench": "eager-load", "seconds": eager_s, "vs_lazy": eager_s / lazy_s}
+        )
+
+        # -- cold vs cached profiling (discovery startup) ---------------------
+        def run_profile_cold():
+            (workdir / PROFILE_SIDECAR).unlink(missing_ok=True)
+            repo = DataRepository.open(workdir)
+            return repo.profiles(BIG_TABLE)
+
+        cold_s, _ = _timed(run_profile_cold, repeats)
+        repo = DataRepository.open(workdir)
+        repo.profiles(BIG_TABLE)
+        repo.save_profiles()
+
+        def run_profile_cached():
+            cached_repo = DataRepository.open(workdir)
+            profiles = cached_repo.profiles(BIG_TABLE)
+            assert cached_repo.profile_cache.stats()["misses"] == 0, "sidecar was not hit"
+            return profiles
+
+        cached_s, _ = _timed(run_profile_cached, repeats)
+        speedup = cold_s / cached_s
+        results.append({"bench": "profile-cold", "seconds": cold_s, "rows": args.rows})
+        results.append(
+            {"bench": "profile-cached", "seconds": cached_s, "speedup_vs_cold": speedup}
+        )
+        if speedup < 5.0:
+            failures.append(
+                f"cached-profile startup only {speedup:.1f}x faster than cold (contract: >= 5x)"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    print(f"\n{'bench':<16} {'seconds':>10}   extra")
+    for row in results:
+        extra = ", ".join(
+            f"{k}={v:.3g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in row.items()
+            if k not in ("bench", "seconds")
+        )
+        print(f"{row['bench']:<16} {row['seconds'] * 1e3:>8.1f}ms   {extra}")
+
+    if args.json:
+        args.json.write_text(json.dumps({"suite": "persistence", "results": results}, indent=2))
+        print(f"\nwrote {args.json}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""CI benchmark-regression gate.
+
+Compares measured benchmark timings (the ``--json`` output of
+``bench_columnar.py`` / ``bench_persistence.py``) against the committed
+``benchmarks/baselines.json`` and fails if any kernel regressed more than the
+allowed ratio:
+
+    python benchmarks/check_regression.py --baseline benchmarks/baselines.json \
+        BENCH_columnar.json BENCH_persistence.json
+
+Rules:
+
+* a kernel FAILS when ``measured > max_ratio * baseline`` **and**
+  ``measured > min_seconds`` (sub-``min_seconds`` timings are too noisy on
+  shared CI runners to gate on);
+* a baseline kernel missing from the measurements FAILS (a silently dropped
+  benchmark must not pass the gate);
+* a measured kernel with no baseline only warns — commit a baseline entry for
+  it to bring it under the gate.
+
+Baselines are recorded from ``--quick`` runs with generous headroom; when a
+deliberate change moves a kernel's cost, re-record with the printed value.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def measured_seconds(row: dict) -> float | None:
+    """The gated timing of one result row (``seconds``, or ``new_s``)."""
+    value = row.get("seconds", row.get("new_s"))
+    return None if value is None else float(value)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("measurements", type=Path, nargs="+", help="BENCH_*.json files")
+    parser.add_argument("--baseline", type=Path, required=True, help="baselines.json")
+    args = parser.parse_args()
+
+    baseline_doc = json.loads(args.baseline.read_text())
+    baselines: dict[str, float] = baseline_doc["kernels"]
+    max_ratio = float(baseline_doc.get("max_ratio", 2.0))
+    min_seconds = float(baseline_doc.get("min_seconds", 0.05))
+
+    measured: dict[str, float] = {}
+    for path in args.measurements:
+        doc = json.loads(path.read_text())
+        suite = doc.get("suite", path.stem)
+        for row in doc.get("results", []):
+            seconds = measured_seconds(row)
+            if seconds is not None:
+                measured[f"{suite}/{row['bench']}"] = seconds
+
+    failures: list[str] = []
+    print(f"{'kernel':<28} {'measured':>10} {'baseline':>10} {'ratio':>7}")
+    for kernel, baseline in sorted(baselines.items()):
+        seconds = measured.get(kernel)
+        if seconds is None:
+            failures.append(f"{kernel}: present in baseline but not measured")
+            print(f"{kernel:<28} {'MISSING':>10} {baseline * 1e3:>8.1f}ms {'-':>7}")
+            continue
+        ratio = seconds / baseline
+        verdict = ""
+        if ratio > max_ratio and seconds > min_seconds:
+            failures.append(
+                f"{kernel}: {seconds * 1e3:.1f}ms is {ratio:.2f}x the "
+                f"{baseline * 1e3:.1f}ms baseline (limit {max_ratio}x)"
+            )
+            verdict = "  << REGRESSION"
+        print(
+            f"{kernel:<28} {seconds * 1e3:>8.1f}ms {baseline * 1e3:>8.1f}ms "
+            f"{ratio:>6.2f}x{verdict}"
+        )
+    for kernel in sorted(set(measured) - set(baselines)):
+        print(f"{kernel:<28} {measured[kernel] * 1e3:>8.1f}ms {'(no baseline)':>10}")
+
+    if failures:
+        print("\nbenchmark regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

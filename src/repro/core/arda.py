@@ -46,6 +46,10 @@ class ARDA:
 
     def __init__(self, config: ARDAConfig | None = None):
         self.config = config or ARDAConfig()
+        # the repository opened from config.repository_dir, kept across
+        # augment calls so sweeps reuse the warm catalog, LRU and profiles
+        self._opened_repository: DataRepository | None = None
+        self._opened_repository_key: tuple | None = None
 
     # -- public API -----------------------------------------------------------------
 
@@ -64,7 +68,7 @@ class ARDA:
     def augment_tables(
         self,
         base_table: Table,
-        repository: DataRepository,
+        repository: DataRepository | None,
         target: str,
         candidates: list[JoinCandidate] | None = None,
         task: str | None = None,
@@ -75,10 +79,14 @@ class ARDA:
 
         ``candidates`` may be omitted, in which case join discovery is run over
         the repository first (the paper's normal mode is to consume an external
-        discovery system's output).
+        discovery system's output).  ``repository`` may also be omitted
+        (``None``) when ``config.repository_dir`` names a directory of binary
+        table files: the pipeline then opens it as a lazy disk-backed
+        repository with ``config.lru_tables`` decoded tables kept alive.
         """
         config = self.config
         start = time.perf_counter()
+        repository = self._resolve_repository(repository)
         if target not in base_table:
             raise KeyError(f"target column {target!r} not found in base table")
         if task is None:
@@ -93,6 +101,14 @@ class ARDA:
             candidates = discovery.discover(
                 base_table, repository, target=target, soft_key_columns=soft_key_columns
             )
+            if config.persist_profiles and repository.is_disk_backed:
+                # the next process serves every discovery profile from the
+                # sidecar without reading a single table body; a repository
+                # on read-only storage just skips the save (best effort)
+                try:
+                    repository.save_profiles()
+                except OSError:
+                    pass
             discovery_time = time.perf_counter() - discovery_start
         candidates = list(candidates)
         tables_considered = len(candidates)
@@ -237,6 +253,27 @@ class ARDA:
         )
 
     # -- helpers ----------------------------------------------------------------------
+
+    def _resolve_repository(self, repository: DataRepository | None) -> DataRepository:
+        """Use the given repository, or open the configured disk-backed one.
+
+        The opened repository is cached on this instance, so repeated
+        ``augment`` calls in one process reuse the warm catalog, decoded-table
+        LRU and profile cache instead of re-reading headers and sidecar.
+        """
+        if repository is not None:
+            return repository
+        if self.config.repository_dir is None:
+            raise ValueError(
+                "no repository given and ARDAConfig.repository_dir is not set"
+            )
+        key = (str(self.config.repository_dir), self.config.lru_tables)
+        if self._opened_repository is None or self._opened_repository_key != key:
+            self._opened_repository = DataRepository.open(
+                self.config.repository_dir, lru_tables=self.config.lru_tables
+            )
+            self._opened_repository_key = key
+        return self._opened_repository
 
     def _materialise_kept(
         self,

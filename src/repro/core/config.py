@@ -54,6 +54,18 @@ class ARDAConfig:
         Whether join discovery reuses the repository's profile cache
         (:class:`~repro.discovery.repository.ProfileCache`), so repeated
         ``augment`` runs over the same repository skip re-profiling.
+    repository_dir:
+        Directory of native binary table files to open as a lazy disk-backed
+        :class:`~repro.discovery.repository.DataRepository` when
+        ``augment_tables`` is called without an explicit repository.
+    lru_tables:
+        How many decoded tables a disk-backed repository keeps alive
+        (``None`` = unbounded).  Only used for repositories the pipeline
+        opens itself via ``repository_dir``.
+    persist_profiles:
+        After running join discovery over a disk-backed repository, write the
+        profile cache to the repository's sidecar so the next process skips
+        profiling entirely.
     """
 
     coreset_strategy: str = "uniform"
@@ -73,6 +85,9 @@ class ARDAConfig:
     executor: str = "serial"
     n_jobs: int | None = None
     cache_profiles: bool = True
+    repository_dir: str | None = None
+    lru_tables: int | None = 16
+    persist_profiles: bool = True
 
     def __post_init__(self):
         from repro.core.executor import EXECUTOR_NAMES
@@ -91,3 +106,5 @@ class ARDAConfig:
         valid_estimators = ("random_forest", "automl")
         if self.estimator not in valid_estimators:
             raise ValueError(f"estimator must be one of {valid_estimators}")
+        if self.lru_tables is not None and self.lru_tables < 1:
+            raise ValueError("lru_tables must be None or >= 1")

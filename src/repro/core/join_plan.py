@@ -50,9 +50,11 @@ def estimate_feature_count(candidate: JoinCandidate, repository: DataRepository)
     expansion is ignored here; the budget is a coarse control, not an exact
     accounting).
     """
-    table = repository.get(candidate.foreign_table)
+    # repository.schema serves disk-backed tables from catalog headers, so
+    # planning over a lazy repository never materialises a candidate table
+    schema = repository.schema(candidate.foreign_table)
     key_columns = set(candidate.foreign_columns)
-    return max(0, table.num_columns - len(key_columns))
+    return max(0, len(schema) - len(key_columns))
 
 
 def build_join_plan(

@@ -86,15 +86,19 @@ class JoinDiscovery:
             del base_profiles[target]
 
         candidates: list[JoinCandidate] = []
-        for foreign in repository:
-            if foreign.name == base.name:
+        for foreign_table in repository.table_names:
+            if foreign_table == base.name:
                 continue
             if self.use_cache:
+                # served from the profile cache; for a disk-backed repository
+                # with a warm sidecar this never reads a table body
                 foreign_profiles = repository.profiles(
-                    foreign.name, num_hashes=self.num_hashes
+                    foreign_table, num_hashes=self.num_hashes
                 )
             else:
-                foreign_profiles = profile_table(foreign, num_hashes=self.num_hashes)
+                foreign_profiles = profile_table(
+                    repository.get(foreign_table), num_hashes=self.num_hashes
+                )
             scored: list[tuple[float, KeyPair]] = []
             for base_name, base_profile in base_profiles.items():
                 for foreign_name, foreign_profile in foreign_profiles.items():
@@ -108,7 +112,7 @@ class JoinDiscovery:
             scored.sort(key=lambda item: -item[0])
             for pair_score, key in scored[: self.max_candidates_per_table]:
                 candidates.append(
-                    JoinCandidate(foreign_table=foreign.name, keys=[key], score=pair_score)
+                    JoinCandidate(foreign_table=foreign_table, keys=[key], score=pair_score)
                 )
         candidates.sort(key=lambda c: -c.score)
         return candidates

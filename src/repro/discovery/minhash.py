@@ -58,6 +58,31 @@ class MinHashSignature:
             table = _splitmix64(base[:, None] ^ seeds[None, :])
         self.signature = table.min(axis=0)
 
+    @classmethod
+    def from_parts(
+        cls, signature: np.ndarray, set_size: int, num_hashes: int
+    ) -> "MinHashSignature":
+        """Rebuild a signature from its stored parts (no re-hashing)."""
+        obj = cls.__new__(cls)
+        obj.num_hashes = int(num_hashes)
+        obj.set_size = int(set_size)
+        obj.signature = np.asarray(signature, dtype=np.uint64)
+        return obj
+
+    def to_state(self) -> dict:
+        """Plain-types state for sidecar persistence (see profiles.py)."""
+        return {
+            "num_hashes": self.num_hashes,
+            "set_size": self.set_size,
+            "signature": self.signature.tobytes(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MinHashSignature":
+        """Inverse of :meth:`to_state`."""
+        signature = np.frombuffer(state["signature"], dtype=np.uint64).copy()
+        return cls.from_parts(signature, state["set_size"], state["num_hashes"])
+
     def jaccard(self, other: "MinHashSignature") -> float:
         """Estimated Jaccard similarity with another signature."""
         if self.num_hashes != other.num_hashes:

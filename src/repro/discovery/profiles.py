@@ -39,6 +39,41 @@ class ColumnProfile:
         """Heuristic: mostly distinct and mostly non-null."""
         return self.uniqueness > 0.5 and self.null_fraction < 0.5
 
+    def to_state(self) -> dict:
+        """Plain-types state (builtin types + bytes) for sidecar persistence.
+
+        The persisted profile cache stores these instead of pickled class
+        instances so that renaming or moving the classes never invalidates an
+        on-disk cache that a version check would otherwise accept.
+        """
+        return {
+            "table_name": self.table_name,
+            "column_name": self.column_name,
+            "ctype": self.ctype.value,
+            "num_rows": self.num_rows,
+            "num_distinct": self.num_distinct,
+            "null_fraction": self.null_fraction,
+            "min_value": self.min_value,
+            "max_value": self.max_value,
+            "minhash": None if self.minhash is None else self.minhash.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ColumnProfile":
+        """Inverse of :meth:`to_state`."""
+        minhash = state["minhash"]
+        return cls(
+            table_name=state["table_name"],
+            column_name=state["column_name"],
+            ctype=ColumnType(state["ctype"]),
+            num_rows=state["num_rows"],
+            num_distinct=state["num_distinct"],
+            null_fraction=state["null_fraction"],
+            min_value=state["min_value"],
+            max_value=state["max_value"],
+            minhash=None if minhash is None else MinHashSignature.from_state(minhash),
+        )
+
 
 def profile_column(
     table_name: str, column: Column, num_hashes: int = 64, max_minhash_values: int = 2000

@@ -1,14 +1,47 @@
-"""An in-memory repository of named tables (the "data lake") and its profile cache."""
+"""The repository of named tables (the "data lake"): in-memory or disk-backed.
+
+A :class:`DataRepository` can hold its tables fully decoded in RAM (the
+original behaviour, still what ``DataRepository(tables)`` gives you) or be
+opened over a directory of native binary table files
+(:meth:`DataRepository.open`).  A disk-backed repository builds its catalog
+from file *headers* only — names, schemas, row counts, content fingerprints —
+and materialises tables lazily on first :meth:`get`, memory-mapped so even a
+"loaded" table only pages in the columns that are actually read.  Decoded
+tables are kept alive in a small LRU so hot candidates stay warm while a
+100-table repository never holds 100 decoded tables.
+
+The :class:`ProfileCache` rides along: besides the identity-validated
+in-memory entries it has always had, entries can now be validated by a
+table's *content fingerprint* (stored in every table file header) and
+persisted to a sidecar file, so a repeated ``ARDA`` run over the same
+repository serves every discovery profile from disk without touching a single
+table body.
+"""
 
 from __future__ import annotations
 
+import pickle
 import threading
+from collections import OrderedDict
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.discovery.profiles import ColumnProfile, profile_table
 from repro.relational.io import read_csv
+from repro.relational.persist import (
+    TableHeader,
+    atomic_replace,
+    read_table,
+    read_table_header,
+    table_fingerprint,
+    write_table,
+)
 from repro.relational.table import Table
+
+TABLE_SUFFIX = ".tbl"
+PROFILE_SIDECAR = "_profiles.cache"
+_SIDECAR_FORMAT = "arda-profile-cache"
+_SIDECAR_VERSION = 1
 
 
 class ProfileCache:
@@ -17,11 +50,19 @@ class ProfileCache:
     Join discovery profiles every repository column on every run; on repeated
     :meth:`ARDA.augment` calls or multi-scenario sweeps over the same
     repository this dominates discovery time.  The cache stores the full
-    per-table profile dictionary keyed by ``(table name, num_hashes)`` and
-    validates entries by table *object identity*: tables are immutable by
-    convention, so as long as a repository slot still holds the same object the
-    cached profiles are exact.  Replacing or removing a table invalidates its
-    entries.
+    per-table profile dictionary keyed by ``(table name, num_hashes)``.
+
+    Entries are validated two ways:
+
+    * **object identity** — tables are immutable by convention, so as long as
+      a repository slot still holds the same object the cached profiles are
+      exact (the original scheme, used for in-memory tables);
+    * **content fingerprint** — the hex fingerprint stored in every binary
+      table file header (see :func:`repro.relational.persist.table_fingerprint`).
+      Fingerprint-validated entries survive process restarts: :meth:`save`
+      writes them to a sidecar file and :meth:`load` brings them back, and an
+      entry whose fingerprint no longer matches the table on disk is simply a
+      miss (then dropped by :meth:`prune_fingerprints` on the next open).
 
     ``hits`` / ``misses`` / ``invalidations`` counters are exposed so callers
     (and tests) can assert that re-profiling was actually skipped.  Entry and
@@ -35,7 +76,10 @@ class ProfileCache:
     """
 
     def __init__(self):
-        self._entries: dict[tuple[str, int], tuple[Table, dict[str, ColumnProfile]]] = {}
+        # (table name, num_hashes) -> (table or None, fingerprint or None, profiles)
+        self._entries: dict[
+            tuple[str, int], tuple[Table | None, str | None, dict[str, ColumnProfile]]
+        ] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -51,17 +95,58 @@ class ProfileCache:
         self._lock = threading.Lock()
 
     def get_or_profile(self, table: Table, num_hashes: int = 64) -> dict[str, ColumnProfile]:
-        """Return cached profiles for ``table``, profiling it on first sight."""
+        """Return cached profiles for ``table``, profiling it on first sight.
+
+        A fingerprint-validated entry (e.g. loaded from a sidecar) is checked
+        by fingerprinting ``table``; on a match the entry is re-bound to the
+        object so subsequent lookups take the O(1) identity path.
+        """
         key = (table.name, num_hashes)
         with self._lock:
             entry = self._entries.get(key)
-            if entry is not None and entry[0] is table:
-                self.hits += 1
-                return entry[1]
+        if entry is not None:
+            cached_table, cached_fp, profiles = entry
+            if cached_table is table:
+                with self._lock:
+                    self.hits += 1
+                return profiles
+            if cached_table is None and cached_fp is not None:
+                if table_fingerprint(table) == cached_fp:
+                    with self._lock:
+                        self.hits += 1
+                        self._entries[key] = (table, cached_fp, profiles)
+                    return profiles
+        with self._lock:
             self.misses += 1
         profiles = profile_table(table, num_hashes=num_hashes)
         with self._lock:
-            self._entries[key] = (table, profiles)
+            self._entries[key] = (table, None, profiles)
+        return profiles
+
+    def get_or_profile_keyed(
+        self,
+        name: str,
+        fingerprint: str,
+        loader: Callable[[], Table],
+        num_hashes: int = 64,
+    ) -> dict[str, ColumnProfile]:
+        """Fingerprint-validated lookup that only loads the table on a miss.
+
+        This is the disk-backed repository's path: on a hit the table body is
+        never read — the catalog header supplies the fingerprint and the
+        profiles come straight from the cache.
+        """
+        key = (name, num_hashes)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[1] == fingerprint:
+                self.hits += 1
+                return entry[2]
+            self.misses += 1
+        profiles = profile_table(loader(), num_hashes=num_hashes)
+        with self._lock:
+            # no table reference: the LRU owns decoded-table lifetime
+            self._entries[key] = (None, fingerprint, profiles)
         return profiles
 
     def invalidate(self, table_name: str | None = None) -> int:
@@ -75,6 +160,94 @@ class ProfileCache:
                 del self._entries[key]
             self.invalidations += len(stale)
             return len(stale)
+
+    def prune_fingerprints(self, live: dict[str, str]) -> int:
+        """Drop fingerprint-validated entries that no longer match ``live``.
+
+        ``live`` maps table name to current on-disk fingerprint; entries for
+        unknown names or stale fingerprints are removed (counted as
+        invalidations).  Identity-validated entries are left alone.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key, (table, fp, _profiles) in self._entries.items()
+                if table is None and fp is not None and live.get(key[0]) != fp
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    # -- sidecar persistence ---------------------------------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Persist all entries to a sidecar file; returns entries written.
+
+        Identity-validated entries are fingerprinted on the way out (one pass
+        over the table bytes) so they can be re-validated by a future process
+        that holds different objects.  The write is atomic (uniquely-named
+        temp file + ``os.replace``, so concurrent savers never interleave).
+        """
+        path = Path(path)
+        with self._lock:
+            snapshot = dict(self._entries)
+        records = []
+        for (name, num_hashes), (table, fingerprint, profiles) in snapshot.items():
+            if fingerprint is None:
+                if table is None:
+                    continue
+                fingerprint = table_fingerprint(table)
+            records.append(
+                {
+                    "table": name,
+                    "num_hashes": num_hashes,
+                    "fingerprint": fingerprint,
+                    "profiles": {
+                        col: profile.to_state() for col, profile in profiles.items()
+                    },
+                }
+            )
+        payload = {
+            "format": _SIDECAR_FORMAT,
+            "version": _SIDECAR_VERSION,
+            "entries": records,
+        }
+        atomic_replace(
+            path,
+            lambda handle: pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        return len(records)
+
+    def load(self, path: str | Path) -> int:
+        """Load sidecar entries written by :meth:`save`; returns entries loaded.
+
+        Raises ``ValueError`` on a file that is not a profile sidecar or was
+        written by an incompatible version.  Loaded entries are
+        fingerprint-validated, so a stale sidecar only costs cache misses,
+        never wrong profiles.
+        """
+        path = Path(path)
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+        if not isinstance(payload, dict) or payload.get("format") != _SIDECAR_FORMAT:
+            raise ValueError(f"{path}: not a profile-cache sidecar")
+        if payload.get("version") != _SIDECAR_VERSION:
+            raise ValueError(
+                f"{path}: unsupported sidecar version {payload.get('version')!r} "
+                f"(this build reads version {_SIDECAR_VERSION})"
+            )
+        loaded = 0
+        with self._lock:
+            for record in payload["entries"]:
+                key = (record["table"], record["num_hashes"])
+                profiles = {
+                    col: ColumnProfile.from_state(state)
+                    for col, state in record["profiles"].items()
+                }
+                self._entries[key] = (None, record["fingerprint"], profiles)
+                loaded += 1
+        return loaded
 
     def reset_counters(self) -> None:
         """Zero the hit/miss/invalidation counters (entries are kept)."""
@@ -98,12 +271,34 @@ class ProfileCache:
             return len(self._entries)
 
 
+class _CatalogEntry:
+    """One disk-backed table: its file path and header (no row data)."""
+
+    __slots__ = ("path", "header")
+
+    def __init__(self, path: Path, header: TableHeader):
+        self.path = path
+        self.header = header
+
+
 class DataRepository:
     """A collection of candidate tables keyed by name.
 
     The repository plays the role of the heterogeneous data pool a data
     discovery system indexes; ARDA never scans it directly, it only receives
     candidate joins referencing tables by name.
+
+    Two backing modes share one API:
+
+    * **in-memory** — ``DataRepository(tables)`` holds decoded tables in a
+      dict, exactly as before;
+    * **disk-backed** — :meth:`open` catalogs a directory of ``.tbl`` files by
+      reading only their headers, then loads tables lazily (memory-mapped) on
+      first access with an LRU keep-alive of decoded tables.  :meth:`add`,
+      :meth:`replace` and :meth:`remove` write through to the directory, and
+      the profile cache can be persisted next to the tables
+      (:meth:`save_profiles`), so a fresh process serves discovery profiles
+      without reading any table body.
 
     Every repository owns a :class:`ProfileCache` so that discovery profiles
     (distinct counts, ranges, MinHash signatures) are computed once per table
@@ -113,66 +308,289 @@ class DataRepository:
 
     def __init__(self, tables: Iterable[Table] = (), profile_cache: ProfileCache | None = None):
         self._tables: dict[str, Table] = {}
+        self._catalog: dict[str, _CatalogEntry] = {}
+        self._loaded: OrderedDict[str, Table] = OrderedDict()
+        self._directory: Path | None = None
+        self._lru_tables: int | None = None
+        self._mmap = True
         self.profile_cache = profile_cache if profile_cache is not None else ProfileCache()
         for table in tables:
             self.add(table)
 
+    # -- disk backing ----------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        lru_tables: int | None = 16,
+        profile_cache: ProfileCache | None = None,
+        mmap: bool = True,
+        load_profiles: bool = True,
+    ) -> "DataRepository":
+        """Open a directory of binary table files as a lazy repository.
+
+        Builds the catalog from file headers only (names, schemas, row
+        counts, fingerprints); no table body is read until :meth:`get`.
+        ``lru_tables`` bounds how many decoded tables are kept alive
+        (``None`` = unbounded).  If a profile sidecar is present and
+        ``load_profiles`` is on, cached profiles are loaded and entries whose
+        fingerprints no longer match the files are dropped.
+        """
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise FileNotFoundError(f"repository directory {directory} does not exist")
+        if lru_tables is not None and lru_tables < 1:
+            raise ValueError("lru_tables must be None or >= 1")
+        repository = cls(profile_cache=profile_cache)
+        repository._directory = directory
+        repository._lru_tables = lru_tables
+        repository._mmap = mmap
+        for path in sorted(directory.glob(f"*{TABLE_SUFFIX}")):
+            header = read_table_header(path)
+            name = header.name or path.stem
+            if name in repository._catalog:
+                raise ValueError(
+                    f"duplicate table name {name!r} in {directory} "
+                    f"({path.name} vs {repository._catalog[name].path.name})"
+                )
+            repository._catalog[name] = _CatalogEntry(path, header)
+        if load_profiles:
+            sidecar = directory / PROFILE_SIDECAR
+            if sidecar.exists():
+                try:
+                    repository.profile_cache.load(sidecar)
+                except Exception:
+                    # a stale/truncated/corrupt sidecar — whatever unpickling
+                    # or record decoding raises — is a cold cache, not an
+                    # error: the repository itself is healthy
+                    pass
+                else:
+                    repository.profile_cache.prune_fingerprints(
+                        {
+                            name: entry.header.fingerprint
+                            for name, entry in repository._catalog.items()
+                        }
+                    )
+        return repository
+
+    @property
+    def is_disk_backed(self) -> bool:
+        """Whether this repository writes through to a directory."""
+        return self._directory is not None
+
+    @property
+    def directory(self) -> Path | None:
+        """The backing directory of a disk-backed repository (else ``None``)."""
+        return self._directory
+
+    @property
+    def cached_tables(self) -> list[str]:
+        """Names of disk-backed tables currently decoded in the LRU."""
+        return list(self._loaded)
+
+    def header(self, name: str) -> TableHeader:
+        """The catalog header of a disk-backed table (schema without loading)."""
+        entry = self._catalog.get(name)
+        if entry is None:
+            raise KeyError(
+                f"no disk-backed table named {name!r}; catalogued: {list(self._catalog)}"
+            )
+        return entry.header
+
+    def schema(self, name: str):
+        """The schema of a table, served without loading when disk-backed."""
+        entry = self._catalog.get(name)
+        if entry is not None and name not in self._tables:
+            return entry.header.schema()
+        return self.get(name).schema()
+
+    def save_profiles(self, path: str | Path | None = None) -> Path:
+        """Persist the profile cache to a sidecar next to the tables.
+
+        ``path`` defaults to ``<directory>/_profiles.cache`` for disk-backed
+        repositories; in-memory repositories must pass an explicit path.
+        """
+        if path is None:
+            if self._directory is None:
+                raise ValueError("in-memory repository: save_profiles needs an explicit path")
+            path = self._directory / PROFILE_SIDECAR
+        path = Path(path)
+        self.profile_cache.save(path)
+        return path
+
+    def _store_loaded(self, name: str, table: Table) -> None:
+        self._loaded[name] = table
+        self._loaded.move_to_end(name)
+        if self._lru_tables is not None:
+            while len(self._loaded) > self._lru_tables:
+                self._loaded.popitem(last=False)
+
+    # -- mutation --------------------------------------------------------------
+
     def add(self, table: Table) -> None:
-        """Register a table; its ``name`` must be unique and non-empty."""
+        """Register a table; its ``name`` must be unique and non-empty.
+
+        In a disk-backed repository the table is also written to
+        ``<directory>/<name>.tbl`` (atomically) and catalogued.
+        """
         if not table.name:
             raise ValueError("repository tables must have a non-empty name")
-        if table.name in self._tables:
+        if table.name in self._tables or table.name in self._catalog:
             raise ValueError(f"a table named {table.name!r} is already registered")
-        self._tables[table.name] = table
+        if self._directory is not None:
+            path = self._directory / f"{table.name}{TABLE_SUFFIX}"
+            header = write_table(table, path)
+            self._catalog[table.name] = _CatalogEntry(path, header)
+            self._store_loaded(table.name, table)
+        else:
+            self._tables[table.name] = table
 
     def replace(self, table: Table) -> None:
-        """Register or overwrite a table, invalidating any cached profiles."""
+        """Register or overwrite a table, invalidating any cached profiles.
+
+        Disk-backed: the file is rewritten atomically (``os.replace``), so a
+        previously loaded memory-mapped table keeps reading the old bytes —
+        the old inode stays alive until its last mapping is dropped.
+        """
         if not table.name:
             raise ValueError("repository tables must have a non-empty name")
-        self._tables[table.name] = table
+        if self._directory is not None:
+            # overwrite the catalogued file in place: a table whose file stem
+            # differs from its name must not leave a duplicate-named sibling
+            existing = self._catalog.get(table.name)
+            path = (
+                existing.path
+                if existing is not None
+                else self._directory / f"{table.name}{TABLE_SUFFIX}"
+            )
+            header = write_table(table, path)
+            self._catalog[table.name] = _CatalogEntry(path, header)
+            self._loaded.pop(table.name, None)
+            self._store_loaded(table.name, table)
+        else:
+            self._tables[table.name] = table
         self.profile_cache.invalidate(table.name)
 
     def remove(self, name: str) -> None:
-        """Unregister a table, invalidating any cached profiles."""
-        if name not in self._tables:
+        """Unregister a table, invalidating any cached profiles.
+
+        Disk-backed: the backing file is deleted (mutations write through
+        both ways, so a reopened repository sees the same contents).
+        """
+        if name in self._tables:
+            del self._tables[name]
+        elif name in self._catalog:
+            entry = self._catalog.pop(name)
+            self._loaded.pop(name, None)
+            entry.path.unlink(missing_ok=True)
+        else:
             raise KeyError(
                 f"no table named {name!r} in repository; available: {self.table_names}"
             )
-        del self._tables[name]
         self.profile_cache.invalidate(name)
 
+    # -- access ----------------------------------------------------------------
+
     def get(self, name: str) -> Table:
-        """Look up a table by name."""
-        try:
-            return self._tables[name]
-        except KeyError:
+        """Look up a table by name, materialising a disk-backed one lazily."""
+        table = self._tables.get(name)
+        if table is not None:
+            return table
+        table = self._loaded.get(name)
+        if table is not None:
+            self._loaded.move_to_end(name)
+            return table
+        entry = self._catalog.get(name)
+        if entry is None:
             raise KeyError(
                 f"no table named {name!r} in repository; available: {self.table_names}"
-            ) from None
+            )
+        table = read_table(entry.path, mmap=self._mmap)
+        if not table.name:
+            table = table.rename(name)
+        self._store_loaded(name, table)
+        return table
 
     def profiles(self, name: str, num_hashes: int = 64) -> dict[str, ColumnProfile]:
-        """Column profiles of one table, served from the profile cache."""
+        """Column profiles of one table, served from the profile cache.
+
+        For a disk-backed table the lookup is fingerprint-validated against
+        the catalog header, so a cache hit never reads the table body.
+        """
+        entry = self._catalog.get(name)
+        if entry is not None and name not in self._tables:
+            return self.profile_cache.get_or_profile_keyed(
+                name,
+                entry.header.fingerprint,
+                loader=lambda: self.get(name),
+                num_hashes=num_hashes,
+            )
         return self.profile_cache.get_or_profile(self.get(name), num_hashes=num_hashes)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._tables
+        return name in self._tables or name in self._catalog
 
     def __len__(self) -> int:
-        return len(self._tables)
+        return len(self._tables) + len(self._catalog)
 
     def __iter__(self) -> Iterator[Table]:
-        return iter(self._tables.values())
+        for name in self.table_names:
+            yield self.get(name)
 
     @property
     def table_names(self) -> list[str]:
         """Names of all registered tables."""
-        return list(self._tables)
+        return list(self._catalog) + [n for n in self._tables if n not in self._catalog]
+
+    # -- ingestion ---------------------------------------------------------------
 
     @classmethod
-    def from_csv_directory(cls, directory: str | Path) -> "DataRepository":
-        """Load every ``*.csv`` file in a directory as a repository table."""
+    def from_csv_directory(
+        cls,
+        directory: str | Path,
+        ingest: str | Path | None = None,
+        lru_tables: int | None = 16,
+        mmap: bool = True,
+    ) -> "DataRepository":
+        """Load every ``*.csv`` file in a directory as a repository table.
+
+        Without ``ingest`` this decodes every CSV into memory (the original
+        behaviour).  With ``ingest`` set to a directory, each CSV is converted
+        **once** to the native binary format (skipped when an up-to-date
+        ``.tbl`` already exists) and the result is opened as a lazy
+        disk-backed repository — the CSV parse cost is paid on the first run
+        only.  The ingest directory mirrors the CSV directory for *ingested*
+        tables: a ``.tbl`` whose header carries the CSV-ingest provenance mark
+        but whose source CSV has disappeared is removed.  Tables persisted
+        into the same directory by other means (``add``/``replace``/``save``)
+        carry no mark and are never touched.
+        """
         directory = Path(directory)
-        repository = cls()
+        if ingest is None:
+            repository = cls()
+            for path in sorted(directory.glob("*.csv")):
+                repository.add(read_csv(path, name=path.stem))
+            return repository
+        ingest_dir = Path(ingest)
+        ingest_dir.mkdir(parents=True, exist_ok=True)
+        stems = set()
         for path in sorted(directory.glob("*.csv")):
-            repository.add(read_csv(path, name=path.stem))
-        return repository
+            stems.add(path.stem)
+            out_path = ingest_dir / f"{path.stem}{TABLE_SUFFIX}"
+            # <= so a CSV rewritten within one mtime tick of its previous
+            # ingest (coarse-granularity filesystems) is never served stale
+            if not out_path.exists() or out_path.stat().st_mtime <= path.stat().st_mtime:
+                write_table(
+                    read_csv(path, name=path.stem), out_path, meta={"source": "csv-ingest"}
+                )
+        for orphan in ingest_dir.glob(f"*{TABLE_SUFFIX}"):
+            if orphan.stem in stems:
+                continue
+            try:
+                provenance = (read_table_header(orphan).meta or {}).get("source")
+            except Exception:
+                continue  # unreadable file: not ours to delete
+            if provenance == "csv-ingest":
+                orphan.unlink()
+        return cls.open(ingest_dir, lru_tables=lru_tables, mmap=mmap)

@@ -36,6 +36,14 @@ from repro.relational.aggregate import group_by_aggregate
 from repro.relational.imputation import impute_table
 from repro.relational.encoding import encode_features, to_design_matrix
 from repro.relational.io import read_csv, write_csv
+from repro.relational.persist import (
+    TableFormatError,
+    TableHeader,
+    read_table,
+    read_table_header,
+    table_fingerprint,
+    write_table,
+)
 
 __all__ = [
     "Column",
@@ -56,4 +64,10 @@ __all__ = [
     "to_design_matrix",
     "read_csv",
     "write_csv",
+    "read_table",
+    "write_table",
+    "read_table_header",
+    "table_fingerprint",
+    "TableHeader",
+    "TableFormatError",
 ]

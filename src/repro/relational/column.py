@@ -227,6 +227,17 @@ class Column:
             raise TypeError(f"column {self.name!r} is {self.ctype.value}, not categorical")
         return self._dictionary
 
+    @property
+    def dictionary_is_exact(self) -> bool:
+        """Whether the dictionary is first-appearance-ordered with no unused entries.
+
+        Persisted so that a reloaded column keeps the O(1) :meth:`unique` fast
+        path exactly when the original column had it.
+        """
+        if self.ctype is not CATEGORICAL:
+            raise TypeError(f"column {self.name!r} is {self.ctype.value}, not categorical")
+        return self._dict_exact
+
     def value_at(self, index: int):
         """One value by row position without decoding the whole column."""
         if self.ctype is CATEGORICAL:

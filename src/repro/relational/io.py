@@ -45,7 +45,13 @@ def read_csv(path: str | Path, name: str = "") -> Table:
         return Table([], name=name or path.stem)
     header = rows[0]
     data: dict[str, list] = {col: [] for col in header}
-    for raw_row in rows[1:]:
+    for row_number, raw_row in enumerate(rows[1:], start=2):
+        if len(raw_row) > len(header):
+            # silently zip-truncating extra cells would drop data; refuse loudly
+            raise ValueError(
+                f"{path}: row {row_number} has {len(raw_row)} cells but the "
+                f"header declares {len(header)} columns"
+            )
         for col, raw in zip(header, raw_row):
             data[col].append(_parse_cell(raw))
         for col in header[len(raw_row):]:

@@ -1,0 +1,413 @@
+"""Native binary columnar table format with memory-mapped lazy loading.
+
+A ``.tbl`` file is a versioned header followed by 64-byte-aligned per-column
+pages:
+
+* numeric / datetime / boolean columns store their ``float64`` backing array
+  verbatim in one **data page**,
+* categorical columns store their ``int32`` dictionary codes in a **codes
+  page** plus a compact **dictionary page** (an ``int64`` offsets array and the
+  concatenated UTF-8 bytes of the distinct strings, in dictionary order).
+
+The header is a small JSON document (schema, row count, page extents and a
+content fingerprint) so catalogs can be built from headers alone.  Reading a
+table back with ``mmap=True`` (the default) maps the file copy-on-write and
+wraps the numeric and code buffers as views into the mapping: loading touches
+only the header and the (small) dictionary pages, and row data is paged in by
+the OS on first access.  Writes go to a temporary file in the same directory
+and are published with ``os.replace``, so an already-mapped reader keeps
+seeing the old bytes (the old inode survives until its last mapping is
+dropped) while new readers see the new table.
+
+Every byte explicitly read by this module is counted in a process-wide
+counter (:func:`bytes_read` / :func:`reset_bytes_read`); memory-mapped pages
+count as zero until the benchmark or caller actually faults them in, which is
+what lets ``bench_persistence.py`` verify that opening a repository reads only
+headers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from hashlib import blake2b
+from pathlib import Path
+
+import numpy as np
+
+from repro.relational.column import Column
+from repro.relational.schema import CATEGORICAL, ColumnSpec, ColumnType, Schema
+from repro.relational.table import Table
+
+MAGIC = b"RPROTBLF"
+FORMAT_VERSION = 1
+_ALIGN = 64
+_PREFIX_LEN = len(MAGIC) + 8  # magic + uint32 version + uint32 header length
+
+_bytes_read = 0
+
+
+def bytes_read() -> int:
+    """Total bytes explicitly read from table files since the last reset."""
+    return _bytes_read
+
+
+def reset_bytes_read() -> None:
+    """Zero the explicit-read byte counter (see module docstring)."""
+    global _bytes_read
+    _bytes_read = 0
+
+
+def _count(n: int) -> None:
+    global _bytes_read
+    _bytes_read += n
+
+
+def _align(offset: int) -> int:
+    return -(-offset // _ALIGN) * _ALIGN
+
+
+def atomic_replace(path: Path, write_to) -> None:
+    """Write a file atomically: unique temp sibling, then ``os.replace``.
+
+    ``write_to`` receives the open binary handle.  A unique temp name (via
+    ``tempfile.mkstemp`` in the target directory) means two concurrent writers
+    never interleave — each assembles its own file and the last replace wins —
+    and the temp file is removed if writing fails.
+    """
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write_to(handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class TableFormatError(ValueError):
+    """A table file is not readable: bad magic, wrong version or truncated."""
+
+
+@dataclass
+class PageRef:
+    """Extent of one page, relative to the start of the file's page region."""
+
+    offset: int
+    nbytes: int
+
+
+@dataclass
+class ColumnMeta:
+    """Header entry for one column: its type and where its pages live."""
+
+    name: str
+    ctype: ColumnType
+    data: PageRef | None = None  # float64 page (non-categorical)
+    codes: PageRef | None = None  # int32 page (categorical)
+    dictionary: PageRef | None = None  # offsets + utf-8 page (categorical)
+    dict_count: int = 0
+    dict_exact: bool = False
+
+
+@dataclass
+class TableHeader:
+    """Everything `DataRepository.open` needs without touching row data."""
+
+    name: str
+    num_rows: int
+    fingerprint: str
+    columns: list[ColumnMeta]
+    pages_start: int
+    pages_nbytes: int
+    # free-form writer-supplied metadata (e.g. ingestion provenance); not part
+    # of the content fingerprint
+    meta: dict | None = None
+
+    @property
+    def column_names(self) -> list[str]:
+        return [col.name for col in self.columns]
+
+    def schema(self) -> Schema:
+        """The stored table's schema."""
+        return Schema([ColumnSpec(col.name, col.ctype) for col in self.columns])
+
+
+# -- fingerprinting ----------------------------------------------------------
+
+
+def _column_payloads(column: Column):
+    """Yield the raw page payload bytes of one column, in a canonical order.
+
+    The same byte stream feeds both the file pages and the content
+    fingerprint, so a fingerprint computed from an in-memory table matches the
+    one stored in the header its ``save()`` produces.
+    """
+    if column.ctype is CATEGORICAL:
+        codes = np.ascontiguousarray(column.codes, dtype="<i4")
+        encoded = [str(entry).encode("utf-8") for entry in column.dictionary]
+        offsets = np.zeros(len(encoded) + 1, dtype="<i8")
+        if encoded:
+            np.cumsum([len(e) for e in encoded], out=offsets[1:])
+        yield "codes", codes.tobytes()
+        yield "dict", offsets.tobytes() + b"".join(encoded)
+    else:
+        yield "data", np.ascontiguousarray(column.values, dtype="<f8").tobytes()
+
+
+def table_fingerprint(table: Table) -> str:
+    """Content fingerprint of a table (hex), matching the stored header's.
+
+    Hashes the schema plus every column's canonical page bytes, so two tables
+    fingerprint equal iff they would serialise to identical pages (dictionary
+    order included).  Used to key persisted column profiles.
+    """
+    hasher = blake2b(digest_size=16)
+    for column in table.columns():
+        hasher.update(column.name.encode("utf-8"))
+        hasher.update(column.ctype.value.encode("ascii"))
+        for _kind, payload in _column_payloads(column):
+            hasher.update(payload)
+    return hasher.hexdigest()
+
+
+# -- writing -----------------------------------------------------------------
+
+
+def write_table(table: Table, path: str | Path, meta: dict | None = None) -> TableHeader:
+    """Serialise ``table`` to ``path`` atomically; returns the written header.
+
+    The file is assembled in a uniquely-named temporary sibling and published
+    with ``os.replace``, so concurrent readers either see the old complete
+    file or the new complete file, existing memory maps stay valid, and two
+    concurrent writers cannot interleave (last replace wins).  ``meta`` is an
+    optional JSON-serialisable dict stored in the header (e.g. ingestion
+    provenance); it does not affect the content fingerprint.
+    """
+    path = Path(path)
+    hasher = blake2b(digest_size=16)
+    pages: list[bytes] = []
+    columns_meta: list[ColumnMeta] = []
+    rel = 0
+
+    def add_page(payload: bytes) -> PageRef:
+        nonlocal rel
+        ref = PageRef(offset=rel, nbytes=len(payload))
+        pages.append(payload)
+        rel += len(payload)
+        pad = _align(rel) - rel
+        if pad:
+            pages.append(b"\x00" * pad)
+            rel += pad
+        return ref
+
+    for column in table.columns():
+        hasher.update(column.name.encode("utf-8"))
+        hasher.update(column.ctype.value.encode("ascii"))
+        col_meta = ColumnMeta(name=column.name, ctype=column.ctype)
+        for kind, payload in _column_payloads(column):
+            hasher.update(payload)
+            ref = add_page(payload)
+            if kind == "data":
+                col_meta.data = ref
+            elif kind == "codes":
+                col_meta.codes = ref
+            else:
+                col_meta.dictionary = ref
+                col_meta.dict_count = len(column.dictionary)
+                col_meta.dict_exact = column.dictionary_is_exact
+        columns_meta.append(col_meta)
+
+    fingerprint = hasher.hexdigest()
+    header_doc = {
+        "name": table.name,
+        "num_rows": table.num_rows,
+        "fingerprint": fingerprint,
+        "columns": [_meta_to_doc(col_meta) for col_meta in columns_meta],
+    }
+    if meta:
+        header_doc["meta"] = meta
+    header_bytes = json.dumps(header_doc, separators=(",", ":")).encode("utf-8")
+    pages_start = _align(_PREFIX_LEN + len(header_bytes))
+
+    def write_to(handle):
+        handle.write(MAGIC)
+        handle.write(FORMAT_VERSION.to_bytes(4, "little"))
+        handle.write(len(header_bytes).to_bytes(4, "little"))
+        handle.write(header_bytes)
+        handle.write(b"\x00" * (pages_start - _PREFIX_LEN - len(header_bytes)))
+        for payload in pages:
+            handle.write(payload)
+
+    atomic_replace(path, write_to)
+    return TableHeader(
+        name=table.name,
+        num_rows=table.num_rows,
+        fingerprint=fingerprint,
+        columns=columns_meta,
+        pages_start=pages_start,
+        pages_nbytes=rel,
+        meta=meta,
+    )
+
+
+def _meta_to_doc(meta: ColumnMeta) -> dict:
+    doc: dict = {"name": meta.name, "ctype": meta.ctype.value}
+    if meta.data is not None:
+        doc["data"] = [meta.data.offset, meta.data.nbytes]
+    if meta.codes is not None:
+        doc["codes"] = [meta.codes.offset, meta.codes.nbytes]
+    if meta.dictionary is not None:
+        doc["dict"] = [meta.dictionary.offset, meta.dictionary.nbytes, meta.dict_count]
+        doc["dict_exact"] = meta.dict_exact
+    return doc
+
+
+def _meta_from_doc(doc: dict) -> ColumnMeta:
+    meta = ColumnMeta(name=doc["name"], ctype=ColumnType(doc["ctype"]))
+    if "data" in doc:
+        meta.data = PageRef(*doc["data"])
+    if "codes" in doc:
+        meta.codes = PageRef(*doc["codes"])
+    if "dict" in doc:
+        offset, nbytes, count = doc["dict"]
+        meta.dictionary = PageRef(offset, nbytes)
+        meta.dict_count = count
+        meta.dict_exact = bool(doc.get("dict_exact", False))
+    return meta
+
+
+# -- reading -----------------------------------------------------------------
+
+
+def read_table_header(path: str | Path) -> TableHeader:
+    """Read only the header of a table file (magic, version, schema, pages).
+
+    This is the whole cost of cataloguing a table: a repository ``open`` over
+    hundreds of files reads a few hundred bytes per file.
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        prefix = handle.read(_PREFIX_LEN)
+        _count(len(prefix))
+        if len(prefix) < _PREFIX_LEN or prefix[: len(MAGIC)] != MAGIC:
+            raise TableFormatError(f"{path}: not a table file (bad magic)")
+        version = int.from_bytes(prefix[len(MAGIC) : len(MAGIC) + 4], "little")
+        if version != FORMAT_VERSION:
+            raise TableFormatError(
+                f"{path}: unsupported table format version {version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        header_len = int.from_bytes(prefix[len(MAGIC) + 4 :], "little")
+        header_bytes = handle.read(header_len)
+        _count(len(header_bytes))
+    if len(header_bytes) < header_len:
+        raise TableFormatError(f"{path}: truncated header")
+    try:
+        doc = json.loads(header_bytes)
+    except json.JSONDecodeError as exc:
+        raise TableFormatError(f"{path}: corrupt header JSON: {exc}") from None
+    columns = [_meta_from_doc(col) for col in doc["columns"]]
+    pages_nbytes = 0
+    for meta in columns:
+        for ref in (meta.data, meta.codes, meta.dictionary):
+            if ref is not None:
+                pages_nbytes = max(pages_nbytes, ref.offset + ref.nbytes)
+    return TableHeader(
+        name=doc["name"],
+        num_rows=doc["num_rows"],
+        fingerprint=doc["fingerprint"],
+        columns=columns,
+        pages_start=_align(_PREFIX_LEN + header_len),
+        pages_nbytes=pages_nbytes,
+        meta=doc.get("meta"),
+    )
+
+
+def _decode_dictionary(page: np.ndarray, count: int) -> np.ndarray:
+    """Decode a dictionary page (uint8 array) into an object array of strings."""
+    offsets = page[: 8 * (count + 1)].view("<i8").tolist()
+    blob = page[8 * (count + 1) :].tobytes()
+    dictionary = np.empty(count, dtype=object)
+    for i in range(count):
+        dictionary[i] = blob[offsets[i] : offsets[i + 1]].decode("utf-8")
+    return dictionary
+
+
+def read_table(path: str | Path, mmap: bool = True) -> Table:
+    """Load a table written by :func:`write_table`.
+
+    With ``mmap=True`` (default) numeric and code buffers are copy-on-write
+    views into a single ``np.memmap`` of the file: the load reads only the
+    header and dictionary pages, and the mapping stays valid even if the file
+    is later replaced via :func:`write_table` (``os.replace`` keeps the old
+    inode alive for existing maps).  With ``mmap=False`` every page is read
+    into process memory up front.
+    """
+    path = Path(path)
+    header = read_table_header(path)
+    file_size = path.stat().st_size
+    if header.pages_start + header.pages_nbytes > file_size:
+        raise TableFormatError(
+            f"{path}: truncated file ({file_size} bytes, header describes "
+            f"{header.pages_start + header.pages_nbytes})"
+        )
+
+    buf: np.ndarray | None = None
+    handle = None
+    if mmap and file_size > header.pages_start:
+        buf = np.memmap(path, dtype=np.uint8, mode="c")
+    elif not mmap:
+        handle = path.open("rb")
+
+    def page(ref: PageRef) -> np.ndarray:
+        start = header.pages_start + ref.offset
+        if ref.nbytes == 0:
+            return np.empty(0, dtype=np.uint8)
+        if buf is not None:
+            # demote the slice to a base-class ndarray view: element access on
+            # the np.memmap subclass goes through a slow __getitem__ override,
+            # and the view's .base chain keeps the mapping alive regardless
+            return np.asarray(buf[start : start + ref.nbytes])
+        handle.seek(start)
+        raw = bytearray(handle.read(ref.nbytes))
+        _count(len(raw))
+        if len(raw) < ref.nbytes:
+            raise TableFormatError(f"{path}: truncated page at offset {start}")
+        return np.frombuffer(raw, dtype=np.uint8)
+
+    try:
+        columns: list[Column] = []
+        for meta in header.columns:
+            if meta.ctype is CATEGORICAL:
+                codes_page = page(meta.codes)
+                codes = (
+                    codes_page.view("<i4")
+                    if len(codes_page)
+                    else np.empty(0, dtype=np.int32)
+                )
+                dict_page = page(meta.dictionary)
+                if buf is not None:
+                    # the dictionary is decoded eagerly; those pages are real reads
+                    _count(meta.dictionary.nbytes)
+                dictionary = _decode_dictionary(dict_page, meta.dict_count)
+                columns.append(
+                    Column.from_codes(meta.name, codes, dictionary, dict_exact=meta.dict_exact)
+                )
+            else:
+                data_page = page(meta.data)
+                data = (
+                    data_page.view("<f8")
+                    if len(data_page)
+                    else np.empty(0, dtype=np.float64)
+                )
+                columns.append(Column.from_array(meta.name, data, meta.ctype))
+        return Table(columns, name=header.name)
+    finally:
+        if handle is not None:
+            handle.close()

@@ -285,6 +285,32 @@ class Table:
             columns.append(col.rename(name))
         return Table(columns, name=self.name)
 
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self, path):
+        """Write this table to ``path`` in the native binary columnar format.
+
+        The write is atomic (temp file + ``os.replace``).  Returns the written
+        :class:`~repro.relational.persist.TableHeader`, whose ``fingerprint``
+        keys persisted column profiles.  See :mod:`repro.relational.persist`
+        for the file layout.
+        """
+        from repro.relational.persist import write_table
+
+        return write_table(self, path)
+
+    @classmethod
+    def load(cls, path, mmap: bool = True) -> "Table":
+        """Load a table written by :meth:`save`.
+
+        With ``mmap=True`` (default) numeric and dictionary-code buffers come
+        back as copy-on-write memory maps: only the header and string
+        dictionaries are read eagerly, row data is paged in on first access.
+        """
+        from repro.relational.persist import read_table
+
+        return read_table(path, mmap=mmap)
+
     # -- conversion ------------------------------------------------------------------
 
     def to_dict(self) -> dict[str, list]:

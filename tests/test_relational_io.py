@@ -52,6 +52,12 @@ class TestCsvRoundTrip:
         loaded = read_csv(path)
         assert np.isnan(loaded["b"].values[1])
 
+    def test_read_overlong_rows_raise_instead_of_truncating(self, tmp_path):
+        path = tmp_path / "long.csv"
+        path.write_text("a,b\n1,2\n3,4,5\n")
+        with pytest.raises(ValueError, match=r"row 3 has 3 cells.*2 columns"):
+            read_csv(path)
+
     def test_read_empty_file(self, tmp_path):
         path = tmp_path / "empty.csv"
         path.write_text("")
