@@ -33,7 +33,7 @@ from repro.discovery.candidates import JoinCandidate
 from repro.discovery.discovery import JoinDiscovery
 from repro.discovery.repository import DataRepository
 from repro.ml.automl import AutoMLSearch
-from repro.relational.encoding import to_design_matrix
+from repro.relational.encoding import encode_features_binned, to_design_matrix
 from repro.relational.imputation import impute_table
 from repro.relational.table import Table
 from repro.selection import make_selector
@@ -144,7 +144,19 @@ class ARDA:
 
         # baseline on the coreset (used for batch-level comparisons only)
         selector = make_selector(
-            config.selector, random_state=config.random_state, **config.selector_options
+            config.selector, random_state=config.random_state, **self._selector_options()
+        )
+        # selectors that advertise accepts_binned get the table's quantised
+        # design matrix alongside the float one (same feature layout), so the
+        # histogram kernel reads categorical dictionary codes straight into
+        # bin codes without ever materialising decoded strings; the probe asks
+        # the configured instance so an all-exact custom ranker list doesn't
+        # pay for a binning pass it would discard
+        binned_probe = getattr(selector, "uses_binned_matrix", None)
+        share_binned = (
+            getattr(selector, "accepts_binned", False)
+            and callable(binned_probe)
+            and binned_probe(task)
         )
 
         kept_columns: list[str] = []
@@ -174,15 +186,31 @@ class ARDA:
                 if not foreign_columns:
                     continue
 
+                imputed = impute_table(joined, seed=config.random_state)
                 X, y, encoding = to_design_matrix(
-                    impute_table(joined, seed=config.random_state),
+                    imputed,
                     target,
                     max_categories=config.max_categories,
                     seed=config.random_state,
                 )
                 foreign_set = set(foreign_columns)
                 selection_start = time.perf_counter()
-                result = selector.select(X, y, task=task, estimator=estimator)
+                if share_binned:
+                    # the table is imputed two lines up, so the binning pass
+                    # skips its own (idempotent) imputation
+                    binned = encode_features_binned(
+                        imputed,
+                        exclude=[target],
+                        max_categories=config.max_categories,
+                        impute=False,
+                        seed=config.random_state,
+                        max_bins=config.max_bins,
+                    )
+                    result = selector.select(
+                        X, y, task=task, estimator=estimator, binned=binned
+                    )
+                else:
+                    result = selector.select(X, y, task=task, estimator=estimator)
                 selection_time += time.perf_counter() - selection_start
 
                 selected_sources = {encoding.source_columns[i] for i in result.selected}
@@ -230,8 +258,10 @@ class ARDA:
         finally:
             executor.shutdown()
 
+        fit_start = time.perf_counter()
         base_score = self._final_score(base_table, target, task)
         augmented_score = self._final_score(augmented_full, target, task)
+        fit_time = time.perf_counter() - fit_start
 
         return AugmentationReport(
             dataset_name=dataset_name or base_table.name,
@@ -249,6 +279,7 @@ class ARDA:
             join_time=join_time,
             discovery_time=discovery_time,
             coreset_time=coreset_time,
+            fit_time=fit_time,
             executor=executor.name,
         )
 
@@ -321,12 +352,42 @@ class ARDA:
         )
         return builder.reduce_table(base_table, size, target=target)
 
+    def _selector_options(self) -> dict:
+        """Selector kwargs from config; RIFS inherits the engine-level knobs.
+
+        Explicit ``selector_options`` always win; the executor kind is shared
+        with the join engine and ``selection_n_jobs`` (falling back to
+        ``n_jobs``) sizes the round fan-out.
+        """
+        config = self.config
+        options = dict(config.selector_options)
+        key = config.selector.strip().lower()
+        if key in ("rifs", "random forest"):
+            # forest-backed selectors train on the configured split kernel;
+            # other selectors' holdout scoring already gets it via the
+            # estimator this class builds
+            options.setdefault("tree_method", config.tree_method)
+            options.setdefault("max_bins", config.max_bins)
+        if key == "rifs":
+            options.setdefault("executor", config.executor)
+            options.setdefault(
+                "n_jobs",
+                config.selection_n_jobs
+                if config.selection_n_jobs is not None
+                else config.n_jobs,
+            )
+        return options
+
     def _make_selection_estimator(self, task: str):
         """The (cheap) estimator used inside feature-selection search loops."""
         options = dict(self.config.estimator_options)
         n_estimators = options.get("n_estimators", 20)
         return default_estimator(
-            task, random_state=self.config.random_state, n_estimators=n_estimators
+            task,
+            random_state=self.config.random_state,
+            n_estimators=n_estimators,
+            tree_method=self.config.tree_method,
+            max_bins=self.config.max_bins,
         )
 
     def _make_final_estimator(self, task: str):

@@ -66,6 +66,20 @@ class ARDAConfig:
         After running join discovery over a disk-backed repository, write the
         profile cache to the repository's sidecar so the next process skips
         profiling entirely.
+    tree_method:
+        Split kernel of every tree model the pipeline trains (RIFS' forest
+        ranker, holdout estimators, the final estimator): ``"hist"``
+        (histogram bins, the fast default), ``"exact"`` (sorted exhaustive
+        search, the reference), or ``None`` to defer to the
+        ``ARDA_TREE_METHOD`` environment variable (falling back to hist).
+    max_bins:
+        Bin budget per feature for the histogram kernel (2..255; codes are
+        uint8).
+    selection_n_jobs:
+        Worker count for parallel feature selection (RIFS injection rounds
+        fanned out over the ``executor`` backend).  ``None`` inherits
+        ``n_jobs``; the executor kind is shared with the join engine, and all
+        backends produce byte-identical selections.
     """
 
     coreset_strategy: str = "uniform"
@@ -88,12 +102,19 @@ class ARDAConfig:
     repository_dir: str | None = None
     lru_tables: int | None = 16
     persist_profiles: bool = True
+    tree_method: str | None = None
+    max_bins: int = 255
+    selection_n_jobs: int | None = None
 
     def __post_init__(self):
         from repro.core.executor import EXECUTOR_NAMES
+        from repro.ml.binning import TREE_METHODS, check_max_bins
 
         if self.executor not in EXECUTOR_NAMES:
             raise ValueError(f"executor must be one of {EXECUTOR_NAMES}")
+        if self.tree_method is not None and self.tree_method not in TREE_METHODS:
+            raise ValueError(f"tree_method must be None or one of {TREE_METHODS}")
+        check_max_bins(self.max_bins)
         valid_plans = ("budget", "table", "full")
         if self.join_plan not in valid_plans:
             raise ValueError(f"join_plan must be one of {valid_plans}")

@@ -25,10 +25,26 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
 from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+S = TypeVar("S")
+
+# shared payload slot for process workers (set once per worker by the pool
+# initializer of map_with_shared, read by _call_with_shared)
+_worker_shared = None
+
+
+def _init_worker_shared(shared) -> None:
+    global _worker_shared
+    _worker_shared = shared
+
+
+def _call_with_shared(task):
+    fn, item = task
+    return fn(_worker_shared, item)
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -55,6 +71,18 @@ class JoinExecutor:
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every item, returning results in input order."""
         raise NotImplementedError
+
+    def map_with_shared(
+        self, fn: Callable[[S, T], R], shared: S, items: Iterable[T]
+    ) -> list[R]:
+        """Apply ``fn(shared, item)`` to every item, results in input order.
+
+        ``shared`` is a read-only payload common to all tasks (a training
+        matrix, say).  In-process backends close over it for free; the process
+        backend ships it to each *worker* exactly once via a pool initializer
+        instead of pickling it into every task.
+        """
+        return self.map(partial(fn, shared), items)
 
     def shutdown(self) -> None:
         """Release any pooled workers (no-op for poolless executors)."""
@@ -117,6 +145,22 @@ class ProcessJoinExecutor(_PoolJoinExecutor):
 
     name = "process"
     pool_class = ProcessPoolExecutor
+
+    def map_with_shared(
+        self, fn: Callable[[S, T], R], shared: S, items: Iterable[T]
+    ) -> list[R]:
+        items = list(items)
+        if len(items) <= 1 or self.n_jobs == 1:
+            return [fn(shared, item) for item in items]
+        # a dedicated pool whose initializer delivers the shared payload once
+        # per worker; worth the worker spawns whenever the payload is large
+        # (a 200k-row matrix) relative to the per-item arguments
+        with ProcessPoolExecutor(
+            max_workers=min(self.n_jobs, len(items)),
+            initializer=_init_worker_shared,
+            initargs=(shared,),
+        ) as pool:
+            return list(pool.map(_call_with_shared, [(fn, item) for item in items]))
 
 
 EXECUTOR_NAMES: tuple[str, ...] = ("serial", "thread", "process")

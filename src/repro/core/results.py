@@ -45,6 +45,7 @@ class AugmentationReport:
     join_time: float = 0.0
     discovery_time: float = 0.0
     coreset_time: float = 0.0
+    fit_time: float = 0.0
     executor: str = "serial"
 
     @property
@@ -62,17 +63,24 @@ class AugmentationReport:
     def stage_breakdown(self) -> dict[str, float]:
         """Wall-clock seconds per pipeline stage.
 
-        ``other_s`` is the remainder of the total not attributed to a named
-        stage (imputation, encoding, final scoring, bookkeeping).
+        ``selection_s`` is feature selection (RIFS) over the coreset batches,
+        ``fit_s`` is training/scoring the final estimator on the full base and
+        augmented tables, and ``other_s`` is the remainder of the total not
+        attributed to a named stage (imputation, encoding, bookkeeping).
         """
         accounted = (
-            self.discovery_time + self.coreset_time + self.join_time + self.selection_time
+            self.discovery_time
+            + self.coreset_time
+            + self.join_time
+            + self.selection_time
+            + self.fit_time
         )
         return {
             "discovery_s": self.discovery_time,
             "coreset_s": self.coreset_time,
             "join_s": self.join_time,
             "selection_s": self.selection_time,
+            "fit_s": self.fit_time,
             "other_s": max(0.0, self.total_time - accounted),
             "total_s": self.total_time,
         }

@@ -28,9 +28,9 @@ def records_to_rows(records: Sequence[EvaluationRecord]) -> list[dict]:
 def stage_breakdown_rows(reports: Sequence[AugmentationReport]) -> list[dict]:
     """Per-stage wall-clock rows for a set of augmentation reports.
 
-    One row per report with discovery / coreset / join / selection / other
-    seconds, so sweeps can show where each run spent its time and how the
-    executor choice moved the join share.
+    One row per report with discovery / coreset / join / selection / fit /
+    other seconds, so sweeps can show where each run spent its time and how
+    the executor and tree-kernel choices moved the join and selection shares.
     """
     rows = []
     for report in reports:

@@ -26,6 +26,7 @@ from repro.ml.model_selection import (
     cross_val_score,
     train_test_split,
 )
+from repro.ml.binning import BinnedMatrix, resolve_tree_method
 from repro.ml.preprocessing import LabelEncoder, MinMaxScaler, StandardScaler
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
@@ -57,6 +58,8 @@ __all__ = [
     "StandardScaler",
     "MinMaxScaler",
     "LabelEncoder",
+    "BinnedMatrix",
+    "resolve_tree_method",
     "DecisionTreeClassifier",
     "DecisionTreeRegressor",
     "RandomForestClassifier",

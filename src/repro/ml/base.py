@@ -92,6 +92,25 @@ def check_X_y(X, y) -> tuple[np.ndarray, np.ndarray]:
     return X, y
 
 
+def check_fit_inputs(X, y) -> tuple:
+    """Validate ``(X, y)`` for fitting; ``X`` may be a prebuilt BinnedMatrix.
+
+    The shared entry point for trees and forests: float matrices go through
+    :func:`check_X_y`, quantised matrices only need the target coerced and the
+    row counts reconciled.
+    """
+    from repro.ml.binning import BinnedMatrix
+
+    if isinstance(X, BinnedMatrix):
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.n_rows != y.shape[0]:
+            raise ValueError(f"X has {X.n_rows} rows but y has {y.shape[0]} entries")
+        if X.n_rows == 0:
+            raise ValueError("cannot fit an estimator on zero samples")
+        return X, y
+    return check_X_y(X, y)
+
+
 def check_array(X) -> np.ndarray:
     """Validate and coerce a feature matrix."""
     X = np.asarray(X, dtype=np.float64)

@@ -1,0 +1,238 @@
+"""Histogram binning: the shared quantised design-matrix of the training engine.
+
+A :class:`BinnedMatrix` quantises every feature **once** into at most
+``max_bins`` (≤ 255) ``uint8`` bin codes.  Downstream consumers — histogram
+trees, forests, the RIFS injection rounds — compute on the codes directly, so
+the O(n log n) per-feature sort is paid a single time per matrix instead of at
+every node of every tree of every injection round.
+
+Binning scheme
+--------------
+
+* A feature with at most ``max_bins`` distinct values gets one **singleton bin
+  per distinct value** with cut points at the midpoints between adjacent
+  values.  Binning is lossless in this regime: a histogram split search over
+  the bins enumerates exactly the same candidate boundaries, with exactly the
+  same left/right statistics, as the exact sorted-values search.
+* A feature with more distinct values is cut at its empirical **quantiles**
+  (``max_bins - 1`` interior cut points, deduplicated), so every bin holds
+  roughly the same number of rows.
+
+For every bin the smallest and largest *data* value assigned to it are
+recorded (``bin_min`` / ``bin_max``).  A split "codes ≤ b" is translated back
+into the float threshold ``(bin_max[b_lo] + bin_min[b_hi]) / 2`` between the
+last non-empty bin on the left and the first non-empty bin on the right, which
+
+* routes every *training* row exactly as the code comparison did, and
+* degenerates to the exact tree's midpoint-between-adjacent-values threshold
+  when bins are singletons — making hist and exact trees bit-identical on
+  integer-valued (more generally: low-cardinality) features.
+
+Codes are stored Fortran-ordered so the per-feature gathers of the node split
+search touch contiguous memory.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+TREE_METHODS = ("exact", "hist")
+DEFAULT_TREE_METHOD = "hist"
+DEFAULT_MAX_BINS = 255
+
+
+def resolve_tree_method(method: str | None = None) -> str:
+    """Resolve a tree-method option to ``"exact"`` or ``"hist"``.
+
+    ``None`` (and ``"auto"``) defer to the ``ARDA_TREE_METHOD`` environment
+    variable, falling back to :data:`DEFAULT_TREE_METHOD`; the env var is what
+    lets CI run the whole suite under either kernel without code changes.
+    """
+    if method is None or method == "auto":
+        method = os.environ.get("ARDA_TREE_METHOD", "").strip().lower() or DEFAULT_TREE_METHOD
+    if method not in TREE_METHODS:
+        raise ValueError(f"tree_method must be one of {TREE_METHODS}, got {method!r}")
+    return method
+
+
+def check_max_bins(max_bins: int) -> int:
+    """Validate a ``max_bins`` option (codes must fit uint8)."""
+    max_bins = int(max_bins)
+    if not 2 <= max_bins <= 255:
+        raise ValueError(f"max_bins must be in [2, 255], got {max_bins}")
+    return max_bins
+
+
+def bin_column(values: np.ndarray, max_bins: int = DEFAULT_MAX_BINS):
+    """Quantise one float feature into ``(codes, bin_min, bin_max)``.
+
+    Non-finite entries are mapped to 0.0 first, matching what
+    :func:`repro.relational.encoding.encode_features` does to the float design
+    matrix, so binning a matrix and binning its columns agree.
+    """
+    values = np.nan_to_num(
+        np.asarray(values, dtype=np.float64), nan=0.0, posinf=0.0, neginf=0.0
+    )
+    distinct = np.unique(values)
+    if len(distinct) == 0:  # zero rows: one empty bin so downstream shapes hold
+        nan = np.array([np.nan])
+        return np.zeros(0, dtype=np.uint8), nan, nan
+    if len(distinct) <= max_bins:
+        cuts = (distinct[:-1] + distinct[1:]) / 2.0
+    else:
+        quantiles = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
+        cuts = np.unique(np.quantile(values, quantiles))
+    codes = np.searchsorted(cuts, values, side="left").astype(np.uint8)
+    bin_min, bin_max = bin_value_ranges(distinct, cuts)
+    return codes, bin_min, bin_max
+
+
+def bin_value_ranges(distinct: np.ndarray, cuts: np.ndarray):
+    """Per-bin smallest/largest observed value (NaN for bins no value falls in)."""
+    n_bins = len(cuts) + 1
+    code_of_value = np.searchsorted(cuts, distinct, side="left")
+    bin_min = np.full(n_bins, np.nan)
+    bin_max = np.full(n_bins, np.nan)
+    # distinct is sorted, so a reversed assignment leaves the first (smallest)
+    # value of each bin in place and a forward assignment the last (largest)
+    bin_min[code_of_value[::-1]] = distinct[::-1]
+    bin_max[code_of_value] = distinct
+    return bin_min, bin_max
+
+
+class BinnedMatrix:
+    """A design matrix quantised to per-feature uint8 bin codes.
+
+    Immutable once built; safe to share across threads, trees and RIFS rounds.
+    ``feature_names`` / ``source_columns`` mirror
+    :class:`repro.relational.encoding.EncodedMatrix` when the matrix was built
+    from a table, and are ``None`` for raw arrays.
+    """
+
+    __slots__ = ("codes", "bin_min", "bin_max", "n_bins", "max_bins", "feature_names", "source_columns")
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        bin_min: list[np.ndarray],
+        bin_max: list[np.ndarray],
+        max_bins: int = DEFAULT_MAX_BINS,
+        feature_names: list[str] | None = None,
+        source_columns: list[str] | None = None,
+    ):
+        if codes.dtype != np.uint8 or codes.ndim != 2:
+            raise ValueError("codes must be a 2-dimensional uint8 array")
+        if len(bin_min) != codes.shape[1] or len(bin_max) != codes.shape[1]:
+            raise ValueError("bin metadata length does not match the feature count")
+        self.codes = codes if codes.flags.f_contiguous else np.asfortranarray(codes)
+        self.bin_min = list(bin_min)
+        self.bin_max = list(bin_max)
+        self.n_bins = np.array([len(b) for b in self.bin_min], dtype=np.int64)
+        self.max_bins = check_max_bins(max_bins)
+        self.feature_names = feature_names
+        self.source_columns = source_columns
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_matrix(
+        cls,
+        X: np.ndarray,
+        max_bins: int = DEFAULT_MAX_BINS,
+        feature_names: list[str] | None = None,
+        source_columns: list[str] | None = None,
+    ) -> "BinnedMatrix":
+        """Quantise a float design matrix column by column."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+        max_bins = check_max_bins(max_bins)
+        n, d = X.shape
+        codes = np.empty((n, d), dtype=np.uint8, order="F")
+        bin_min: list[np.ndarray] = []
+        bin_max: list[np.ndarray] = []
+        for j in range(d):
+            column_codes, column_min, column_max = bin_column(X[:, j], max_bins)
+            codes[:, j] = column_codes
+            bin_min.append(column_min)
+            bin_max.append(column_max)
+        return cls(codes, bin_min, bin_max, max_bins, feature_names, source_columns)
+
+    # -- shape protocol --------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self.codes.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Number of (quantised) feature columns."""
+        return self.codes.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n_rows, n_features)``."""
+        return self.codes.shape
+
+    def __len__(self) -> int:
+        return self.codes.shape[0]
+
+    # -- combinators -----------------------------------------------------------
+
+    def split_threshold(self, feature: int, bin_lo: int, bin_hi: int) -> float:
+        """Float threshold realising the split ``codes ≤ bin_lo``.
+
+        ``bin_hi`` is the first non-empty bin to the right of ``bin_lo``; the
+        returned value lies strictly between the largest value binned into
+        ``bin_lo`` and the smallest value binned into ``bin_hi`` (up to float
+        rounding), so ``value <= threshold`` reproduces the code comparison.
+        """
+        return float((self.bin_max[feature][bin_lo] + self.bin_min[feature][bin_hi]) / 2.0)
+
+    def take_rows(self, indices: np.ndarray) -> "BinnedMatrix":
+        """Row subset (bin metadata is shared, codes are gathered)."""
+        return BinnedMatrix(
+            np.asfortranarray(self.codes[np.asarray(indices)]),
+            self.bin_min,
+            self.bin_max,
+            self.max_bins,
+            self.feature_names,
+            self.source_columns,
+        )
+
+    def hstack(self, other: "BinnedMatrix") -> "BinnedMatrix":
+        """Append another binned matrix's features (same row count) to the right.
+
+        This is how RIFS shares one binning of the real features across all
+        injection rounds: only the per-round noise block is re-binned.
+        """
+        if other.n_rows != self.n_rows:
+            raise ValueError(
+                f"row counts differ: {self.n_rows} vs {other.n_rows}"
+            )
+        codes = np.empty((self.n_rows, self.n_features + other.n_features), dtype=np.uint8, order="F")
+        codes[:, : self.n_features] = self.codes
+        codes[:, self.n_features:] = other.codes
+        names = None
+        if self.feature_names is not None and other.feature_names is not None:
+            names = self.feature_names + other.feature_names
+        sources = None
+        if self.source_columns is not None and other.source_columns is not None:
+            sources = self.source_columns + other.source_columns
+        return BinnedMatrix(
+            codes,
+            self.bin_min + other.bin_min,
+            self.bin_max + other.bin_max,
+            max(self.max_bins, other.max_bins),
+            names,
+            sources,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BinnedMatrix(shape={self.shape}, max_bins={self.max_bins}, "
+            f"mean_bins={float(self.n_bins.mean()) if len(self.n_bins) else 0:.1f})"
+        )

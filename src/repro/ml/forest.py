@@ -3,20 +3,44 @@
 Random forests serve two roles in ARDA: they are the default final estimator
 used to measure augmentation quality, and (via impurity-based feature
 importances) one half of the RIFS ranking ensemble.
+
+The forest quantises the training matrix **once** (``tree_method="hist"``) and
+every tree trains on the shared :class:`~repro.ml.binning.BinnedMatrix`;
+bootstrap resamples are index draws into it, never matrix copies.  Tree fits
+are independent, so they fan out over the same pluggable
+:class:`~repro.core.executor.JoinExecutor` pools the join engine uses.  All
+per-tree randomness (seed and bootstrap sample) is drawn up front from the
+forest RNG in tree order — interleaved exactly like the historical serial
+loop — so serial, thread and process execution produce byte-identical
+forests.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.executor import JoinExecutor, make_executor
 from repro.ml.base import (
     BaseEstimator,
     ClassifierMixin,
     RegressorMixin,
     check_array,
-    check_X_y,
+    check_fit_inputs,
 )
+from repro.ml.binning import DEFAULT_MAX_BINS, BinnedMatrix, resolve_tree_method
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+def _fit_forest_tree(shared, task):
+    """Fit one (tree, sample) task against the shared ``(data, y)`` payload.
+
+    Top-level so process pools can pickle it; the training data travels via
+    the executor's shared-payload channel (once per worker), never per tree.
+    """
+    data, y = shared
+    tree, sample = task
+    tree.fit(data, y, sample_indices=sample)
+    return tree
 
 
 class _BaseForest(BaseEstimator):
@@ -31,6 +55,10 @@ class _BaseForest(BaseEstimator):
         max_features="sqrt",
         bootstrap: bool = True,
         random_state: int | None = 0,
+        tree_method: str | None = None,
+        max_bins: int = DEFAULT_MAX_BINS,
+        n_jobs: int | None = 1,
+        executor: str | JoinExecutor = "thread",
     ):
         self.n_estimators = n_estimators
         self.max_depth = max_depth
@@ -39,31 +67,50 @@ class _BaseForest(BaseEstimator):
         self.max_features = max_features
         self.bootstrap = bootstrap
         self.random_state = random_state
+        self.tree_method = tree_method
+        self.max_bins = max_bins
+        self.n_jobs = n_jobs
+        self.executor = executor
         self.estimators_: list = []
         self.feature_importances_: np.ndarray | None = None
 
     def _make_tree(self, seed: int):
         raise NotImplementedError
 
-    def _fit_forest(self, X: np.ndarray, y: np.ndarray) -> None:
+    def _fit_forest(self, X, y: np.ndarray) -> None:
+        if isinstance(X, BinnedMatrix):
+            if resolve_tree_method(self.tree_method) == "exact":
+                raise ValueError(
+                    "the exact kernel cannot train on a BinnedMatrix; "
+                    "pass the float matrix instead"
+                )
+            data = X
+        elif resolve_tree_method(self.tree_method) == "hist":
+            data = BinnedMatrix.from_matrix(X, max_bins=self.max_bins)
+        else:
+            data = X
         rng = np.random.default_rng(self.random_state)
-        n = X.shape[0]
-        self.estimators_ = []
-        importances = np.zeros(X.shape[1], dtype=np.float64)
-        for i in range(self.n_estimators):
+        n, n_features = X.shape
+        # per-tree randomness drawn up front, interleaved exactly like the
+        # historical serial loop, so executor choice can't change the forest
+        tasks = []
+        for _ in range(self.n_estimators):
             tree = self._make_tree(int(rng.integers(0, 2**31 - 1)))
-            if self.bootstrap:
-                sample = rng.integers(0, n, size=n)
-            else:
-                sample = np.arange(n)
-            tree.fit(X[sample], y[sample])
-            self.estimators_.append(tree)
+            sample = rng.integers(0, n, size=n) if self.bootstrap else None
+            tasks.append((tree, sample))
+        executor = make_executor(self.executor, self.n_jobs)
+        try:
+            self.estimators_ = executor.map_with_shared(_fit_forest_tree, (data, y), tasks)
+        finally:
+            executor.shutdown()
+        importances = np.zeros(n_features, dtype=np.float64)
+        for tree in self.estimators_:
             importances += tree.feature_importances_
         total = importances.sum()
         if total > 0:
             self.feature_importances_ = importances / total
         else:
-            self.feature_importances_ = np.zeros(X.shape[1], dtype=np.float64)
+            self.feature_importances_ = np.zeros(n_features, dtype=np.float64)
 
 
 class RandomForestRegressor(_BaseForest, RegressorMixin):
@@ -76,11 +123,13 @@ class RandomForestRegressor(_BaseForest, RegressorMixin):
             min_samples_leaf=self.min_samples_leaf,
             max_features=self.max_features,
             random_state=seed,
+            tree_method=self.tree_method,
+            max_bins=self.max_bins,
         )
 
     def fit(self, X, y) -> "RandomForestRegressor":
-        """Fit the forest on training data."""
-        X, y = check_X_y(X, y)
+        """Fit the forest on training data (a float matrix or a BinnedMatrix)."""
+        X, y = check_fit_inputs(X, y)
         self._fit_forest(X, y)
         return self
 
@@ -97,8 +146,8 @@ class RandomForestClassifier(_BaseForest, ClassifierMixin):
     """Bagged ensemble of CART classification trees (soft voting)."""
 
     def fit(self, X, y) -> "RandomForestClassifier":
-        """Fit the forest on training data."""
-        X, y = check_X_y(X, y)
+        """Fit the forest on training data (a float matrix or a BinnedMatrix)."""
+        X, y = check_fit_inputs(X, y)
         self.classes_ = np.unique(y)
         self._fit_forest(X, y)
         return self
@@ -110,6 +159,8 @@ class RandomForestClassifier(_BaseForest, ClassifierMixin):
             min_samples_leaf=self.min_samples_leaf,
             max_features=self.max_features,
             random_state=seed,
+            tree_method=self.tree_method,
+            max_bins=self.max_bins,
         )
 
     def predict_proba(self, X) -> np.ndarray:

@@ -1,11 +1,25 @@
 """CART decision trees for classification and regression.
 
-The trees use the classic greedy split search: at every node each candidate
-feature is sorted and every boundary between distinct values is evaluated with
-a vectorised impurity computation (Gini for classification, variance for
-regression).  Feature importances are accumulated as impurity decrease weighted
-by the number of samples reaching the node, matching the quantity the paper's
-Random-Forest ranker consumes.
+Two split-search kernels share one construction loop:
+
+* ``tree_method="exact"`` — the classic greedy search: at every node each
+  candidate feature is sorted and every boundary between distinct values is
+  evaluated with a vectorised impurity computation (Gini for classification,
+  variance for regression).  This is the reference implementation the
+  histogram kernel is property-tested against.
+* ``tree_method="hist"`` — the feature is quantised once (per tree, or once
+  per forest / RIFS run when a shared :class:`~repro.ml.binning.BinnedMatrix`
+  is passed in) and the node accumulates per-bin count/sum histograms, then
+  scans at most ``max_bins`` boundaries instead of sorting ``n`` rows.  On
+  features whose distinct-value count fits into the bin budget the two kernels
+  are bit-identical (see :mod:`repro.ml.binning` for why).
+
+Construction recurses over *row-index arrays* into the training data, so a
+forest's bootstrap resample is an index draw, not a matrix copy.  Feature
+importances are accumulated as impurity decrease weighted by the number of
+samples reaching the node, matching the quantity the paper's Random-Forest
+ranker consumes.  Fitted trees always predict on raw float matrices: histogram
+splits are translated back to float thresholds at fit time.
 """
 
 from __future__ import annotations
@@ -19,8 +33,9 @@ from repro.ml.base import (
     ClassifierMixin,
     RegressorMixin,
     check_array,
-    check_X_y,
+    check_fit_inputs,
 )
+from repro.ml.binning import DEFAULT_MAX_BINS, BinnedMatrix, resolve_tree_method
 
 
 @dataclass
@@ -59,12 +74,16 @@ class _BaseDecisionTree(BaseEstimator):
         min_samples_leaf: int = 1,
         max_features=None,
         random_state: int | None = None,
+        tree_method: str | None = None,
+        max_bins: int = DEFAULT_MAX_BINS,
     ):
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.random_state = random_state
+        self.tree_method = tree_method
+        self.max_bins = max_bins
         self._nodes: list[_Node] = []
         self.n_features_: int = 0
         self.feature_importances_: np.ndarray | None = None
@@ -83,26 +102,104 @@ class _BaseDecisionTree(BaseEstimator):
         """Return ``(impurity_decrease, threshold)`` or ``(-inf, 0)`` if none."""
         raise NotImplementedError
 
+    def _hist_gains(
+        self,
+        flat: np.ndarray,
+        y: np.ndarray,
+        cum_n: np.ndarray,
+        k: int,
+        n_bins: int,
+        m: int,
+        valid: np.ndarray,
+    ) -> np.ndarray:
+        """Per-boundary impurity decreases, shape ``(k, n_bins - 1)``.
+
+        ``flat`` holds each row's bin code offset by ``feature * n_bins`` (the
+        shared bincount key), ``cum_n`` the per-feature cumulative bin counts
+        and ``valid`` masks boundaries with rows on both sides.
+        """
+        raise NotImplementedError
+
+    def _hist_search(self, rows: np.ndarray, candidates: np.ndarray, y: np.ndarray):
+        """Histogram split search over all candidate features at once.
+
+        One shared ``bincount`` per statistic covers every candidate feature —
+        node cost is O(m·k + k·bins) with a handful of numpy calls, instead of
+        O(m log m) *per feature* for the exact kernel's sort.  Returns
+        ``(best_gains, best_bins, counts)`` aligned with ``candidates``;
+        features without a usable split get ``-inf``.
+
+        Boundary semantics match the exact kernel: every boundary with rows on
+        both sides is scored, duplicate boundaries created by empty bins tie
+        with identical gains and ``argmax`` keeps the first — the non-empty
+        bin — exactly where the sorted scan would have cut.
+        """
+        binned = self._binned
+        k = len(candidates)
+        if k == 0:  # zero-feature matrices grow a single constant leaf
+            return np.full(0, -np.inf), np.full(0, -1), None
+        n_bins = int(binned.n_bins[candidates].max())
+        if n_bins < 2:
+            return np.full(k, -np.inf), np.full(k, -1), None
+        sub = binned.codes[np.ix_(rows, candidates)].astype(np.int64)
+        m = len(rows)
+        sub += np.arange(k, dtype=np.int64) * n_bins  # offset codes per feature in place
+        flat = sub.ravel()
+        counts = np.bincount(flat, minlength=k * n_bins).reshape(k, n_bins)
+        cum_n = np.cumsum(counts, axis=1)
+        n_left = cum_n[:, :-1]
+        valid = (n_left > 0) & (n_left < m)
+        gains = self._hist_gains(flat, y, cum_n, k, n_bins, m, valid)
+        gains = np.where(valid, gains, -np.inf)
+        best = np.argmax(gains, axis=1)
+        best_gains = gains[np.arange(k), best]
+        best_gains = np.where(best_gains > 0, best_gains, -np.inf)
+        return best_gains, best, counts
+
     # construction --------------------------------------------------------------
 
-    def _fit_tree(self, X: np.ndarray, y: np.ndarray) -> None:
-        self.n_features_ = X.shape[1]
+    def _fit_tree(self, X, y: np.ndarray, sample_indices: np.ndarray | None = None) -> None:
+        if isinstance(X, BinnedMatrix):
+            if resolve_tree_method(self.tree_method) == "exact":
+                raise ValueError(
+                    "the exact kernel cannot train on a BinnedMatrix; "
+                    "pass the float matrix instead"
+                )
+            self._binned, self._X = X, None
+            self._method = "hist"
+        else:
+            self._method = resolve_tree_method(self.tree_method)
+            if self._method == "hist":
+                self._binned = BinnedMatrix.from_matrix(X, max_bins=self.max_bins)
+                self._X = None
+            else:
+                self._binned, self._X = None, X
+        n_rows, self.n_features_ = X.shape
+        self._y = y
         self._nodes = []
         self._importances = np.zeros(self.n_features_, dtype=np.float64)
         self._rng = np.random.default_rng(self.random_state)
-        self._n_total = X.shape[0]
-        self._build(X, y, depth=0)
+        if sample_indices is None:
+            rows = np.arange(n_rows)
+        else:
+            rows = np.asarray(sample_indices, dtype=np.int64)
+        self._n_total = len(rows)
+        self._build(rows, depth=0)
         total = self._importances.sum()
         if total > 0:
             self.feature_importances_ = self._importances / total
         else:
             self.feature_importances_ = np.zeros(self.n_features_, dtype=np.float64)
+        # drop training references: a shared BinnedMatrix must not be pinned by
+        # every tree of a forest, and fitted trees only ever see float inputs
+        self._binned = self._X = self._y = None
 
-    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> int:
+    def _build(self, rows: np.ndarray, depth: int) -> int:
         node_index = len(self._nodes)
+        y = self._y[rows]
         value = self._node_value(y)
         self._nodes.append(_Node(-1, 0.0, -1, -1, value))
-        n = len(y)
+        n = len(rows)
         if (
             n < self.min_samples_split
             or (self.max_depth is not None and depth >= self.max_depth)
@@ -116,22 +213,40 @@ class _BaseDecisionTree(BaseEstimator):
         else:
             candidates = np.arange(self.n_features_)
 
-        best_gain, best_feature, best_threshold = 0.0, -1, 0.0
-        for feature in candidates:
-            gain, threshold = self._best_split_for_feature(X[:, feature], y)
-            if gain > best_gain + 1e-15:
-                best_gain, best_feature, best_threshold = gain, int(feature), threshold
+        best_gain, best_feature, best_threshold, best_bin = 0.0, -1, 0.0, -1
+        if self._method == "hist":
+            gains, bins, counts = self._hist_search(rows, candidates, y)
+            best_index = -1
+            for index in range(len(candidates)):
+                if gains[index] > best_gain + 1e-15:
+                    best_gain = float(gains[index])
+                    best_feature = int(candidates[index])
+                    best_bin = int(bins[index])
+                    best_index = index
+            if best_feature >= 0:
+                # first non-empty bin to the right of the cut fixes the threshold
+                above = np.nonzero(counts[best_index, best_bin + 1:])[0]
+                bin_hi = best_bin + 1 + int(above[0])
+                best_threshold = self._binned.split_threshold(best_feature, best_bin, bin_hi)
+        else:
+            for feature in candidates:
+                gain, threshold = self._best_split_for_feature(self._X[rows, feature], y)
+                if gain > best_gain + 1e-15:
+                    best_gain, best_feature, best_threshold = gain, int(feature), threshold
         if best_feature < 0:
             return node_index
 
-        mask = X[:, best_feature] <= best_threshold
+        if self._method == "hist":
+            mask = self._binned.codes[rows, best_feature] <= best_bin
+        else:
+            mask = self._X[rows, best_feature] <= best_threshold
         n_left = int(mask.sum())
         if n_left < self.min_samples_leaf or (n - n_left) < self.min_samples_leaf:
             return node_index
 
         self._importances[best_feature] += best_gain * (n / self._n_total)
-        left_index = self._build(X[mask], y[mask], depth + 1)
-        right_index = self._build(X[~mask], y[~mask], depth + 1)
+        left_index = self._build(rows[mask], depth + 1)
+        right_index = self._build(rows[~mask], depth + 1)
         node = self._nodes[node_index]
         node.feature = best_feature
         node.threshold = best_threshold
@@ -182,10 +297,16 @@ class _BaseDecisionTree(BaseEstimator):
 class DecisionTreeRegressor(_BaseDecisionTree, RegressorMixin):
     """CART regression tree minimising within-node variance."""
 
-    def fit(self, X, y) -> "DecisionTreeRegressor":
-        """Grow the tree on the training data."""
-        X, y = check_X_y(X, y)
-        self._fit_tree(X, y)
+    def fit(self, X, y, sample_indices: np.ndarray | None = None) -> "DecisionTreeRegressor":
+        """Grow the tree on the training data.
+
+        ``X`` may be a float matrix or a prebuilt (shared)
+        :class:`~repro.ml.binning.BinnedMatrix`; ``sample_indices`` restricts
+        training to the given rows (with repeats — a bootstrap draw) without
+        copying the data.
+        """
+        X, y = check_fit_inputs(X, y)
+        self._fit_tree(X, y, sample_indices)
         return self
 
     def predict(self, X) -> np.ndarray:
@@ -209,18 +330,15 @@ class DecisionTreeRegressor(_BaseDecisionTree, RegressorMixin):
         if len(boundaries) == 0:
             return -np.inf, 0.0
         csum = np.cumsum(t)
-        csum_sq = np.cumsum(t * t)
-        total_sum, total_sq = csum[-1], csum_sq[-1]
+        total_sum = csum[-1]
         n_left = boundaries + 1
         n_right = n - n_left
         left_sum = csum[boundaries]
-        left_sq = csum_sq[boundaries]
         right_sum = total_sum - left_sum
-        right_sq = total_sq - left_sq
-        sse_left = left_sq - left_sum**2 / n_left
-        sse_right = right_sq - right_sum**2 / n_right
-        sse_parent = total_sq - total_sum**2 / n
-        gains = (sse_parent - sse_left - sse_right) / n
+        # variance decrease with the sum-of-squares terms cancelled out:
+        # (sse_parent - sse_left - sse_right) == lhs below, since the raw
+        # second moments appear once positively and once negatively
+        gains = (left_sum**2 / n_left + right_sum**2 / n_right - total_sum**2 / n) / n
         best = int(np.argmax(gains))
         if gains[best] <= 0:
             return -np.inf, 0.0
@@ -228,17 +346,43 @@ class DecisionTreeRegressor(_BaseDecisionTree, RegressorMixin):
         threshold = (v[boundary] + v[boundary + 1]) / 2.0
         return float(gains[best]), float(threshold)
 
+    def _hist_gains(self, flat, y, cum_n, k, n_bins, m, valid) -> np.ndarray:
+        sums = np.bincount(
+            flat, weights=np.repeat(y, k), minlength=k * n_bins
+        ).reshape(k, n_bins)
+        cum_sum = np.cumsum(sums, axis=1)
+        total_sum = cum_sum[:, -1:]
+        n_left = cum_n[:, :-1]
+        n_right = m - n_left
+        left_sum = cum_sum[:, :-1]
+        right_sum = total_sum - left_sum
+        safe_left = np.where(valid, n_left, 1)
+        safe_right = np.where(valid, n_right, 1)
+        # same cancelled variance-decrease expression as the exact kernel, so
+        # the two kernels stay bit-identical where binning is lossless
+        return (
+            left_sum**2 / safe_left + right_sum**2 / safe_right - total_sum**2 / m
+        ) / m
+
 
 class DecisionTreeClassifier(_BaseDecisionTree, ClassifierMixin):
     """CART classification tree minimising Gini impurity."""
 
-    def fit(self, X, y) -> "DecisionTreeClassifier":
-        """Grow the tree on the training data."""
-        X, y = check_X_y(X, y)
-        self.classes_ = np.unique(y)
+    def fit(self, X, y, sample_indices: np.ndarray | None = None) -> "DecisionTreeClassifier":
+        """Grow the tree on the training data.
+
+        See :meth:`DecisionTreeRegressor.fit` for the accepted ``X`` kinds and
+        ``sample_indices`` semantics.  Classes are taken from the sampled rows
+        only, matching a fit on the materialised bootstrap sample.
+        """
+        X, y = check_fit_inputs(X, y)
+        y_seen = y if sample_indices is None else y[np.asarray(sample_indices)]
+        self.classes_ = np.unique(y_seen)
         self._class_index = {cls: i for i, cls in enumerate(self.classes_)}
+        # rows outside the sample may get the out-of-range code len(classes_);
+        # construction never visits them, so the codes are harmless
         codes = np.searchsorted(self.classes_, y)
-        self._fit_tree(X, codes.astype(np.float64))
+        self._fit_tree(X, codes.astype(np.float64), sample_indices)
         return self
 
     def predict_proba(self, X) -> np.ndarray:
@@ -287,3 +431,23 @@ class DecisionTreeClassifier(_BaseDecisionTree, ClassifierMixin):
         boundary = boundaries[best]
         threshold = (v[boundary] + v[boundary + 1]) / 2.0
         return float(gains[best]), float(threshold)
+
+    def _hist_gains(self, flat, y, cum_n, k, n_bins, m, valid) -> np.ndarray:
+        n_classes = len(self.classes_)
+        class_codes = np.repeat(y.astype(np.int64), k)
+        joint = np.bincount(
+            flat * n_classes + class_codes,
+            minlength=k * n_bins * n_classes,
+        ).reshape(k, n_bins, n_classes)
+        cum_counts = np.cumsum(joint.astype(np.float64), axis=1)
+        total_counts = cum_counts[:, -1, :]  # (k, n_classes)
+        left_counts = cum_counts[:, :-1, :]  # (k, n_bins - 1, n_classes)
+        right_counts = total_counts[:, None, :] - left_counts
+        n_left = cum_n[:, :-1].astype(np.float64)
+        n_right = m - n_left
+        safe_left = np.where(valid, n_left, 1.0)
+        safe_right = np.where(valid, n_right, 1.0)
+        gini_left = 1.0 - np.sum((left_counts / safe_left[..., None]) ** 2, axis=2)
+        gini_right = 1.0 - np.sum((right_counts / safe_right[..., None]) ** 2, axis=2)
+        gini_parent = 1.0 - np.sum((total_counts / m) ** 2, axis=1)
+        return gini_parent[:, None] - (n_left / m) * gini_left - (n_right / m) * gini_right

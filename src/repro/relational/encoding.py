@@ -12,6 +12,13 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.ml.binning import (
+    DEFAULT_MAX_BINS,
+    BinnedMatrix,
+    bin_column,
+    bin_value_ranges,
+    check_max_bins,
+)
 from repro.relational.column import Column
 from repro.relational.imputation import impute_table
 from repro.relational.schema import CATEGORICAL
@@ -82,32 +89,45 @@ def encode_features(
     return EncodedMatrix(matrix=matrix, feature_names=feature_names, source_columns=source_columns)
 
 
-def _encode_categorical(col: Column, max_categories: int) -> tuple[np.ndarray, list[str]]:
-    """One-hot or frequency encode a categorical column.
+def _one_hot_positions(col: Column, categories: list) -> np.ndarray:
+    """Per-row one-hot column index (-1 for missing / unlisted categories).
 
-    Both encodings run on the dictionary codes: per-category work touches only
-    the (small) dictionary and the per-row work is integer gathers — the row
-    strings are never materialised.
+    Runs on the dictionary codes: per-category work touches only the (small)
+    dictionary and the per-row work is one integer gather — the row strings
+    are never materialised.
     """
+    position = {cat: j for j, cat in enumerate(categories)}
+    code_to_column = np.full(len(col.dictionary) + 1, -1, dtype=np.int64)
+    for code, cat in enumerate(col.dictionary):
+        code_to_column[code] = position.get(cat, -1)
+    return code_to_column[col.codes]
+
+
+def _frequency_per_code(col: Column) -> np.ndarray:
+    """Relative frequency per dictionary code, with a trailing 0.0 slot.
+
+    The spare slot means indexing with code ``-1`` reads a frequency of zero,
+    so missing rows encode as 0.0.
+    """
+    codes = col.codes
+    counts = np.bincount(codes[codes >= 0], minlength=len(col.dictionary) + 1)
+    return counts / max(len(codes), 1)
+
+
+def _encode_categorical(col: Column, max_categories: int) -> tuple[np.ndarray, list[str]]:
+    """One-hot or frequency encode a categorical column (codes end to end)."""
     codes = col.codes
     n = len(codes)
     categories = col.unique()
     if 0 < len(categories) <= max_categories:
-        # translate dictionary codes into one-hot column positions
-        position = {cat: j for j, cat in enumerate(categories)}
-        code_to_column = np.full(len(col.dictionary) + 1, -1, dtype=np.int64)
-        for code, cat in enumerate(col.dictionary):
-            code_to_column[code] = position.get(cat, -1)
-        columns = code_to_column[codes]
+        columns = _one_hot_positions(col, categories)
         block = np.zeros((n, len(categories)), dtype=np.float64)
         rows = np.nonzero(columns >= 0)[0]
         block[rows, columns[rows]] = 1.0
         names = [f"{col.name}={cat}" for cat in categories]
         return block, names
-    # frequency encoding for high-cardinality (or all-missing) columns; the
-    # count table has one spare slot so that code -1 reads a count of zero
-    counts = np.bincount(codes[codes >= 0], minlength=len(col.dictionary) + 1)
-    frequency = counts[codes] / max(n, 1)
+    # frequency encoding for high-cardinality (or all-missing) columns
+    frequency = _frequency_per_code(col)[codes]
     return frequency.reshape(n, 1).astype(np.float64), [f"{col.name}__freq"]
 
 
@@ -129,6 +149,124 @@ def to_design_matrix(
         table, exclude=list(exclude) + [target], max_categories=max_categories, seed=seed
     )
     return features.matrix, y, features
+
+
+def encode_features_binned(
+    table: Table,
+    exclude: Sequence[str] = (),
+    max_categories: int = 20,
+    impute: bool = True,
+    seed: int = 0,
+    max_bins: int = DEFAULT_MAX_BINS,
+) -> BinnedMatrix:
+    """Encode a table straight into a :class:`~repro.ml.binning.BinnedMatrix`.
+
+    Produces exactly the bins :meth:`BinnedMatrix.from_matrix` would produce
+    for :func:`encode_features`'s float matrix — same feature layout, same bin
+    codes, same bin boundaries — but categorical columns map their dictionary
+    codes directly to bin codes: the decoded row strings are never
+    materialised and (for the one-hot/frequency fast paths) neither is the
+    per-row float block.
+    """
+    max_bins = check_max_bins(max_bins)
+    exclude_set = set(exclude)
+    work = table.drop([c for c in exclude if c in table.column_names]) if exclude_set else table
+    if impute:
+        work = impute_table(work, seed=seed)
+
+    n = work.num_rows
+    blocks: list[np.ndarray] = []  # per-block uint8 code columns, shape (n, k)
+    bin_min: list[np.ndarray] = []
+    bin_max: list[np.ndarray] = []
+    feature_names: list[str] = []
+    source_columns: list[str] = []
+    for col in work.columns():
+        if col.ctype is CATEGORICAL:
+            block, mins, maxs, names = _bin_categorical(col, max_categories, max_bins)
+        else:
+            values = np.asarray(col.values, dtype=np.float64)
+            codes, col_min, col_max = bin_column(values, max_bins)
+            block, mins, maxs, names = codes.reshape(n, 1), [col_min], [col_max], [col.name]
+        blocks.append(block)
+        bin_min.extend(mins)
+        bin_max.extend(maxs)
+        feature_names.extend(names)
+        source_columns.extend([col.name] * block.shape[1])
+
+    d = len(feature_names)
+    codes = np.empty((n, d), dtype=np.uint8, order="F")
+    offset = 0
+    for block in blocks:
+        codes[:, offset : offset + block.shape[1]] = block
+        offset += block.shape[1]
+    return BinnedMatrix(codes, bin_min, bin_max, max_bins, feature_names, source_columns)
+
+
+def _bin_categorical(col: Column, max_categories: int, max_bins: int):
+    """Bin a categorical column's one-hot / frequency features from its codes."""
+    codes = col.codes
+    n = len(codes)
+    categories = col.unique()
+    if 0 < len(categories) <= max_categories:
+        columns = _one_hot_positions(col, categories)
+        block = np.empty((n, len(categories)), dtype=np.uint8)
+        mins: list[np.ndarray] = []
+        maxs: list[np.ndarray] = []
+        for j in range(len(categories)):
+            indicator = columns == j
+            ones = int(indicator.sum())
+            if 0 < ones < n:
+                # both 0.0 and 1.0 occur: two singleton bins cut at 0.5
+                block[:, j] = indicator
+                edges = np.array([0.0, 1.0])
+            else:
+                # constant column: a single bin holding its only value
+                block[:, j] = 0
+                edges = np.array([1.0 if ones else 0.0])
+            mins.append(edges)
+            maxs.append(edges)
+        names = [f"{col.name}={cat}" for cat in categories]
+        return block, mins, maxs, names
+    frequency = _frequency_per_code(col)
+    present = np.unique(codes)  # sorted; may include -1, which reads the 0.0 slot
+    distinct = np.unique(frequency[present])
+    if len(distinct) <= max_bins:
+        # map each dictionary code to its frequency's bin, then gather per row
+        cuts = (distinct[:-1] + distinct[1:]) / 2.0
+        bin_of_code = np.searchsorted(cuts, frequency, side="left").astype(np.uint8)
+        block = bin_of_code[codes].reshape(n, 1)
+        col_min, col_max = bin_value_ranges(distinct, cuts)
+    else:
+        # >max_bins distinct frequencies: quantile-bin the (numeric) row values
+        row_codes, col_min, col_max = bin_column(frequency[codes], max_bins)
+        block = row_codes.reshape(n, 1)
+    return block, [col_min], [col_max], [f"{col.name}__freq"]
+
+
+def to_binned_matrix(
+    table: Table,
+    target: str,
+    exclude: Sequence[str] = (),
+    max_categories: int = 20,
+    seed: int = 0,
+    max_bins: int = DEFAULT_MAX_BINS,
+) -> tuple[BinnedMatrix, np.ndarray]:
+    """Split a table into ``(binned_X, y)`` for histogram-kernel training.
+
+    The binned sibling of :func:`to_design_matrix`: identical feature layout
+    (``feature_names`` / ``source_columns`` ride on the returned matrix) and
+    bit-identical bins to quantising the float design matrix, without decoding
+    categorical strings.
+    """
+    y = encode_target(table.column(target))
+    binned = encode_features_binned(
+        table,
+        exclude=list(exclude) + [target],
+        max_categories=max_categories,
+        seed=seed,
+        max_bins=max_bins,
+    )
+    return binned, y
 
 
 def encode_target(column: Column) -> np.ndarray:

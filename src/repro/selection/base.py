@@ -30,23 +30,49 @@ def infer_task(y: np.ndarray, max_classes: int = 20) -> str:
     """Guess whether a target is a classification or a regression target.
 
     A target is treated as classification when it has few distinct values and
-    all of them are (close to) integers.
+    all of them are (close to) integers.  A target with no observed (non-NaN)
+    values cannot be classified either way and raises ``ValueError`` — it used
+    to fall through as "classification" because an empty distinct set passes
+    both checks vacuously.
     """
     y = np.asarray(y, dtype=np.float64).ravel()
     distinct = np.unique(y[~np.isnan(y)])
+    if len(distinct) == 0:
+        raise ValueError("cannot infer task: target has no non-missing values")
     if len(distinct) <= max_classes and np.allclose(distinct, np.round(distinct)):
         return CLASSIFICATION
     return REGRESSION
 
 
-def default_estimator(task: str, random_state: int = 0, n_estimators: int = 20) -> BaseEstimator:
-    """The lightly auto-optimised Random Forest the paper uses as its estimator."""
+def default_estimator(
+    task: str,
+    random_state: int = 0,
+    n_estimators: int = 20,
+    tree_method: str | None = None,
+    max_bins: int = 255,
+    n_jobs: int | None = 1,
+) -> BaseEstimator:
+    """The lightly auto-optimised Random Forest the paper uses as its estimator.
+
+    ``tree_method`` / ``max_bins`` / ``n_jobs`` configure the forest's split
+    kernel and tree-level parallelism (see :mod:`repro.ml.binning`).
+    """
     if task == CLASSIFICATION:
         return RandomForestClassifier(
-            n_estimators=n_estimators, max_depth=10, random_state=random_state
+            n_estimators=n_estimators,
+            max_depth=10,
+            random_state=random_state,
+            tree_method=tree_method,
+            max_bins=max_bins,
+            n_jobs=n_jobs,
         )
     return RandomForestRegressor(
-        n_estimators=n_estimators, max_depth=10, random_state=random_state
+        n_estimators=n_estimators,
+        max_depth=10,
+        random_state=random_state,
+        tree_method=tree_method,
+        max_bins=max_bins,
+        n_jobs=n_jobs,
     )
 
 
@@ -57,20 +83,26 @@ def holdout_score(
     estimator: BaseEstimator | None = None,
     test_size: float = 0.25,
     random_state: int = 0,
+    stratify: bool | None = None,
 ) -> float:
     """Train on a split and score on the holdout (higher is better).
 
     Classification uses accuracy; regression uses R^2 so that both tasks share
     a "higher is better" orientation, which the search procedures rely on.
+    ``stratify=None`` stratifies the split by ``y`` exactly for classification
+    tasks (so a tiny coreset cannot draw a single-class holdout); pass ``True``
+    or ``False`` to force either behaviour.
     """
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64).ravel()
     if X.shape[1] == 0:
         return -np.inf
     estimator = estimator if estimator is not None else default_estimator(task)
-    stratify = y if task == CLASSIFICATION else None
+    if stratify is None:
+        stratify = task == CLASSIFICATION
     X_train, X_test, y_train, y_test = train_test_split(
-        X, y, test_size=test_size, random_state=random_state, stratify=stratify
+        X, y, test_size=test_size, random_state=random_state,
+        stratify=y if stratify else None,
     )
     model = clone(estimator)
     model.fit(X_train, y_train)

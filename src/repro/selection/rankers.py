@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ml.binning import resolve_tree_method
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
 from repro.ml.linear import Lasso
 from repro.ml.logistic import LogisticRegression
@@ -19,14 +20,36 @@ from repro.selection.base import CLASSIFICATION, FeatureRanker
 
 
 class RandomForestRanker(FeatureRanker):
-    """Impurity-decrease importances from a random forest."""
+    """Impurity-decrease importances from a random forest.
+
+    With the (default) histogram kernel the ranker advertises
+    ``uses_binned_matrix`` and accepts a prebuilt shared
+    :class:`~repro.ml.binning.BinnedMatrix` as ``X``, which is how RIFS bins
+    the real features once and reuses them across every injection round.
+    """
 
     name = "random forest"
 
-    def __init__(self, n_estimators: int = 20, max_depth: int = 10, random_state: int = 0):
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: int = 10,
+        random_state: int = 0,
+        tree_method: str | None = None,
+        max_bins: int = 255,
+        n_jobs: int | None = 1,
+    ):
         self.n_estimators = n_estimators
         self.max_depth = max_depth
         self.random_state = random_state
+        self.tree_method = tree_method
+        self.max_bins = max_bins
+        self.n_jobs = n_jobs
+
+    @property
+    def uses_binned_matrix(self) -> bool:
+        """Whether this ranker computes on uint8 bin codes (histogram kernel)."""
+        return resolve_tree_method(self.tree_method) == "hist"
 
     def score_features(self, X, y, task) -> np.ndarray:
         """Normalised impurity-decrease importance per feature."""
@@ -35,12 +58,18 @@ class RandomForestRanker(FeatureRanker):
                 n_estimators=self.n_estimators,
                 max_depth=self.max_depth,
                 random_state=self.random_state,
+                tree_method=self.tree_method,
+                max_bins=self.max_bins,
+                n_jobs=self.n_jobs,
             )
         else:
             model = RandomForestRegressor(
                 n_estimators=self.n_estimators,
                 max_depth=self.max_depth,
                 random_state=self.random_state,
+                tree_method=self.tree_method,
+                max_bins=self.max_bins,
+                n_jobs=self.n_jobs,
             )
         model.fit(X, y)
         return model.feature_importances_.copy()

@@ -13,16 +13,29 @@ comparing them against injected random features:
    increasing order, keep the features whose fraction is at least ``tau``, and
    stop as soon as the holdout score stops improving (the previous subset is
    returned).
+
+Execution model: the ``k`` injection rounds are mutually independent, so each
+round draws its randomness from its own spawned child of the selector seed and
+the rounds fan out over a pluggable :class:`~repro.core.executor.JoinExecutor`
+(``executor=`` / ``n_jobs=``).  Round results are 0/1 indicator vectors summed
+in round order, so serial, thread and process execution return **byte-identical
+selections**.  With the histogram tree kernel the real features are quantised
+into a shared :class:`~repro.ml.binning.BinnedMatrix` once — each round only
+bins its own small noise block and appends it.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.executor import JoinExecutor, make_executor
+from repro.ml.binning import BinnedMatrix
 from repro.selection.aggregate import aggregate_rankings, fraction_ahead_of_all_noise
 from repro.selection.base import (
+    CLASSIFICATION,
     FeatureRanker,
     FeatureSelector,
     SelectionResult,
@@ -33,6 +46,40 @@ from repro.selection.injection import inject_noise_features
 from repro.selection.rankers import RandomForestRanker, SparseRegressionRanker
 
 DEFAULT_THRESHOLDS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _run_injection_round(shared, seed):
+    """One injection round; top-level so process pools can pickle it.
+
+    The matrix, target and shared binning travel via the executor's
+    shared-payload channel (delivered once per process worker, closed over
+    for free in threads) — only the round seed is per-task.  Every source of
+    randomness in the round (noise draw, per-ranker seeds) comes from the
+    round's own spawned seed, and rankers are deep-copied before their seeds
+    are set, so rounds are independent of execution order and of each other.
+    """
+    X, y, task_kind, rankers, weights, eta, strategy, binned = shared
+    rng = np.random.default_rng(seed)
+    augmented, noise_mask = inject_noise_features(
+        X, fraction=eta, strategy=strategy, rng=rng
+    )
+    binned_augmented = None
+    if binned is not None:
+        noise_block = augmented[:, X.shape[1]:]
+        binned_augmented = binned.hstack(
+            BinnedMatrix.from_matrix(noise_block, max_bins=binned.max_bins)
+        )
+    score_vectors = []
+    for ranker in rankers:
+        ranker = copy.deepcopy(ranker)
+        if hasattr(ranker, "random_state"):
+            ranker.random_state = int(rng.integers(0, 2**31 - 1))
+        if binned_augmented is not None and getattr(ranker, "uses_binned_matrix", False):
+            score_vectors.append(ranker.score_features(binned_augmented, y, task_kind))
+        else:
+            score_vectors.append(ranker.score_features(augmented, y, task_kind))
+    aggregate = aggregate_rankings(score_vectors, weights)
+    return fraction_ahead_of_all_noise(aggregate, noise_mask)
 
 
 @dataclass
@@ -63,9 +110,17 @@ class RIFS(FeatureSelector):
         Increasing thresholds ``tau`` swept by the wrapper (Algorithm 3).
     injection_strategy:
         ``"moment_matched"`` (Algorithm 2) or ``"standard"`` distributions.
+    tree_method / max_bins:
+        Split kernel of the default Random-Forest ranker and the sharing of a
+        :class:`~repro.ml.binning.BinnedMatrix` across rounds (``None``
+        resolves via ``ARDA_TREE_METHOD``, default histogram).
+    executor / n_jobs:
+        Backend and worker count for fanning the injection rounds out; all
+        backends return byte-identical selections.
     """
 
     name = "RIFS"
+    accepts_binned = True
 
     def __init__(
         self,
@@ -77,6 +132,10 @@ class RIFS(FeatureSelector):
         rankers: list[FeatureRanker] | None = None,
         random_state: int = 0,
         min_keep: int = 1,
+        tree_method: str | None = None,
+        max_bins: int = 255,
+        executor: str | JoinExecutor = "serial",
+        n_jobs: int | None = None,
     ):
         if not 0 <= nu <= 1:
             raise ValueError("nu must be in [0, 1]")
@@ -90,44 +149,78 @@ class RIFS(FeatureSelector):
         self.rankers = rankers
         self.random_state = random_state
         self.min_keep = min_keep
+        self.tree_method = tree_method
+        self.max_bins = max_bins
+        self.executor = executor
+        self.n_jobs = n_jobs
         self.diagnostics_: RIFSDiagnostics | None = None
 
     # -- Algorithm 1: noise-beat fractions -------------------------------------
 
     def noise_beat_fractions(
-        self, X: np.ndarray, y: np.ndarray, task: str
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        task: str,
+        binned: BinnedMatrix | None = None,
     ) -> np.ndarray:
-        """Fraction of rounds each real feature out-ranks all injected noise."""
+        """Fraction of rounds each real feature out-ranks all injected noise.
+
+        ``binned`` may carry a prebuilt quantisation of ``X`` (e.g. straight
+        from :func:`repro.relational.encoding.to_binned_matrix`); otherwise
+        the real features are binned here, once, when any ranker runs on the
+        histogram kernel.
+        """
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
-        rng = np.random.default_rng(self.random_state)
         rankers, weights = self._resolve_rankers(task)
-        d = X.shape[1]
-        totals = np.zeros(d, dtype=np.float64)
-        for round_index in range(self.n_rounds):
-            augmented, noise_mask = inject_noise_features(
-                X, fraction=self.eta, strategy=self.injection_strategy, rng=rng
-            )
-            score_vectors = []
-            for ranker in rankers:
-                if hasattr(ranker, "random_state"):
-                    ranker.random_state = int(rng.integers(0, 2**31 - 1))
-                score_vectors.append(ranker.score_features(augmented, y, task))
-            aggregate = aggregate_rankings(score_vectors, weights)
-            totals += fraction_ahead_of_all_noise(aggregate, noise_mask)
+        wants_binned = any(getattr(r, "uses_binned_matrix", False) for r in rankers)
+        if not wants_binned:
+            binned = None
+        elif binned is None:
+            binned = BinnedMatrix.from_matrix(X, max_bins=self.max_bins)
+        seeds = np.random.SeedSequence(self.random_state).spawn(self.n_rounds)
+        shared = (X, y, task, rankers, weights, self.eta, self.injection_strategy, binned)
+        executor = make_executor(self.executor, self.n_jobs)
+        try:
+            rounds = executor.map_with_shared(_run_injection_round, shared, seeds)
+        finally:
+            executor.shutdown()
+        totals = np.zeros(X.shape[1], dtype=np.float64)
+        for fractions in rounds:  # fixed round order: executor-independent sums
+            totals += fractions
         return totals / self.n_rounds
+
+    def uses_binned_matrix(self, task: str) -> bool:
+        """Whether any configured ranker would consume a shared BinnedMatrix.
+
+        Callers (the ARDA batch loop) probe this before paying for a
+        table-level binning pass that a custom all-exact ranker list would
+        just throw away.
+        """
+        rankers, _ = self._resolve_rankers(task)
+        return any(getattr(ranker, "uses_binned_matrix", False) for ranker in rankers)
 
     def _resolve_rankers(self, task: str) -> tuple[list[FeatureRanker], list[float]]:
         if self.rankers is not None:
             return list(self.rankers), [1.0] * len(self.rankers)
         return (
-            [RandomForestRanker(random_state=self.random_state), SparseRegressionRanker()],
+            [
+                RandomForestRanker(
+                    random_state=self.random_state,
+                    tree_method=self.tree_method,
+                    max_bins=self.max_bins,
+                ),
+                SparseRegressionRanker(),
+            ],
             [self.nu, 1.0 - self.nu],
         )
 
     # -- Algorithm 3: threshold wrapper ------------------------------------------
 
-    def select(self, X, y, task=None, estimator=None) -> SelectionResult:
+    def select(
+        self, X, y, task=None, estimator=None, binned: BinnedMatrix | None = None
+    ) -> SelectionResult:
         """Run the full RIFS procedure and return the selected feature indices."""
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
@@ -135,7 +228,7 @@ class RIFS(FeatureSelector):
 
         def run() -> SelectionResult:
             diagnostics = RIFSDiagnostics(rounds=self.n_rounds)
-            fractions = self.noise_beat_fractions(X, y, task)
+            fractions = self.noise_beat_fractions(X, y, task, binned=binned)
             diagnostics.noise_beat_fraction = fractions
 
             best_subset: np.ndarray | None = None
@@ -148,6 +241,7 @@ class RIFS(FeatureSelector):
                 score = holdout_score(
                     X[:, subset], y, task, estimator=estimator,
                     random_state=self.random_state,
+                    stratify=task == CLASSIFICATION,
                 )
                 diagnostics.thresholds_tried.append(tau)
                 diagnostics.threshold_scores.append(score)
@@ -187,6 +281,8 @@ class NoiseInjectionRankingSelector(FeatureSelector):
     marginally faster than full RIFS and still achieves augmentation.
     """
 
+    accepts_binned = True
+
     def __init__(
         self,
         ranker: FeatureRanker,
@@ -196,6 +292,8 @@ class NoiseInjectionRankingSelector(FeatureSelector):
         thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS,
         injection_strategy: str = "moment_matched",
         random_state: int = 0,
+        executor: str | JoinExecutor = "serial",
+        n_jobs: int | None = None,
     ):
         self.ranker = ranker
         self.name = name or f"{ranker.name}+noise"
@@ -211,10 +309,24 @@ class NoiseInjectionRankingSelector(FeatureSelector):
             injection_strategy=injection_strategy,
             rankers=[ranker],
             random_state=random_state,
+            executor=executor,
+            n_jobs=n_jobs,
         )
 
-    def select(self, X, y, task=None, estimator=None) -> SelectionResult:
+    def uses_binned_matrix(self, task: str) -> bool:
+        """Whether the wrapped ranker consumes a shared BinnedMatrix."""
+        return self._rifs.uses_binned_matrix(task)
+
+    def select(self, X, y, task=None, estimator=None, binned=None) -> SelectionResult:
         """Delegate to a single-ranker RIFS instance."""
-        result = self._rifs.select(X, y, task=task, estimator=estimator)
+        result = self._rifs.select(X, y, task=task, estimator=estimator, binned=binned)
         result.method = self.name
         return result
+
+
+__all__ = [
+    "RIFS",
+    "RIFSDiagnostics",
+    "NoiseInjectionRankingSelector",
+    "DEFAULT_THRESHOLDS",
+]

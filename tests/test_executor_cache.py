@@ -362,9 +362,11 @@ class TestStageTimings:
         report = ARDA(config).augment(small_dataset)
         breakdown = report.stage_breakdown()
         assert set(breakdown) == {
-            "discovery_s", "coreset_s", "join_s", "selection_s", "other_s", "total_s",
+            "discovery_s", "coreset_s", "join_s", "selection_s", "fit_s",
+            "other_s", "total_s",
         }
         assert breakdown["join_s"] > 0
+        assert breakdown["fit_s"] > 0
         assert breakdown["total_s"] >= breakdown["join_s"]
         assert all(v >= 0 for v in breakdown.values())
         assert report.summary()["executor"] == "serial"
