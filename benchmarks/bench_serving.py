@@ -1,0 +1,230 @@
+"""Benchmarks for the serving layer: artifact round trip and inference replay.
+
+Trains a pipeline once over a disk-backed repository, then measures:
+
+* **save / load** — serialising the fitted pipeline artifact and restoring it
+  (estimator pages included).
+* **predict-batch** — vectorized scoring of a >= 200k-row *unseen* batch in
+  one shot; asserts the replay ran **without re-discovery** (zero profile
+  cache activity — serving never profiles a table).
+* **predict-stream** — the micro-batch streaming path over the same rows,
+  served from a memory-mapped ``.tbl`` file; asserts its peak allocation is
+  **bounded by the micro-batch size** (measured with ``tracemalloc``, which
+  modern numpy reports into): the streamed peak must stay under half the
+  full design-matrix footprint the batch path materialises.
+* streamed and batch predictions are asserted **identical** (the unseen rows
+  carry no missing categoricals, so batching cannot change imputation draws).
+
+Standalone on purpose (no pytest-benchmark dependency) so CI can smoke it:
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick --json BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.arda import ARDA
+from repro.core.config import ARDAConfig
+from repro.discovery.repository import DataRepository
+from repro.relational.table import Table
+from repro.serving import FittedPipeline
+
+
+def build_base(rows: int, entities: int, seed: int = 0) -> Table:
+    """A base table whose target partly depends on joinable foreign signal."""
+    rng = np.random.default_rng(seed)
+    entity = rng.integers(0, entities, size=rows)
+    f0 = rng.normal(size=rows)
+    f1 = rng.normal(size=rows)
+    signal = np.sin(entity * 0.37)  # mirrored in the foreign table
+    return Table.from_dict(
+        {
+            "entity_id": entity.astype(np.float64),
+            "f0": f0,
+            "f1": f1,
+            "target": 2.0 * f0 - f1 + 3.0 * signal + rng.normal(scale=0.1, size=rows),
+        },
+        name="base",
+    )
+
+
+def build_foreign(entities: int, seed: int = 1) -> Table:
+    """The signal table: entity key, the signal column, filler columns."""
+    rng = np.random.default_rng(seed)
+    ids = np.arange(entities)
+    return Table.from_dict(
+        {
+            "entity_id": ids.astype(np.float64),
+            "signal": np.sin(ids * 0.37),
+            "filler_a": rng.normal(size=entities),
+            "tag": [f"tag-{i % 25:02d}" for i in ids],
+        },
+        name="signal",
+    )
+
+
+def _timed(fn, repeats: int):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    parser.add_argument("--train-rows", type=int, default=20_000)
+    parser.add_argument("--serve-rows", type=int, default=200_000)
+    parser.add_argument("--entities", type=int, default=500)
+    parser.add_argument("--batch-rows", type=int, default=20_000)
+    parser.add_argument("--json", type=Path, default=None, help="write results as JSON")
+    args = parser.parse_args()
+    if args.quick:
+        args.train_rows = min(args.train_rows, 5_000)
+        args.serve_rows = min(args.serve_rows, 60_000)
+        args.batch_rows = min(args.batch_rows, 15_000)
+    repeats = 2 if args.quick else 3
+    results: list[dict] = []
+    failures: list[str] = []
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_serving_"))
+    try:
+        lake = workdir / "lake"
+        lake.mkdir()
+        build_foreign(args.entities).save(lake / "signal.tbl")
+        base = build_base(args.train_rows, args.entities)
+
+        print(f"training on {args.train_rows} rows over disk-backed repository {lake}")
+        config = ARDAConfig(repository_dir=str(lake))
+        train_start = time.perf_counter()
+        report = ARDA(config).augment_tables(base, None, target="target")
+        train_s = time.perf_counter() - train_start
+        pipeline = report.pipeline
+        assert pipeline is not None and pipeline.joins, "training must keep the signal join"
+        print(
+            f"  trained in {train_s:.2f}s; kept {len(report.kept_columns)} columns "
+            f"from {report.kept_tables}"
+        )
+
+        # -- save / load -------------------------------------------------------
+        artifact = workdir / "model.pipeline"
+        save_s, _ = _timed(lambda: pipeline.save(artifact), repeats)
+        results.append(
+            {"bench": "save", "seconds": save_s, "kb": artifact.stat().st_size / 1e3}
+        )
+        repo = DataRepository.open(lake)
+        load_s, loaded = _timed(lambda: FittedPipeline.load(artifact, repository=repo), repeats)
+        results.append({"bench": "load", "seconds": load_s})
+
+        # -- unseen batch, memory-mapped --------------------------------------
+        unseen = build_base(args.serve_rows, args.entities, seed=99).drop(["target"])
+        unseen_path = workdir / "unseen.tbl"
+        unseen.save(unseen_path)
+        rows = Table.load(unseen_path)  # mmap-backed serving input
+
+        repo.profile_cache.reset_counters()
+        predict_s, batch_predictions = _timed(lambda: loaded.predict(rows), repeats)
+        stats = repo.profile_cache.stats()
+        if stats["misses"] or stats["hits"]:
+            failures.append(
+                f"predict touched the profile cache ({stats}) — serving must not re-discover"
+            )
+        results.append(
+            {
+                "bench": "predict-batch",
+                "seconds": predict_s,
+                "rows": args.serve_rows,
+                "rows_per_s": args.serve_rows / predict_s,
+            }
+        )
+
+        # -- streaming: timing -------------------------------------------------
+        def run_stream():
+            parts = [
+                np.asarray(chunk, dtype=np.float64)
+                for chunk in loaded.iter_predict(rows, batch_rows=args.batch_rows)
+            ]
+            return np.concatenate(parts)
+
+        stream_s, stream_predictions = _timed(run_stream, repeats)
+        if not np.array_equal(batch_predictions, stream_predictions):
+            failures.append("streamed predictions differ from batch predictions")
+
+        # -- streaming: bounded memory (untimed tracemalloc runs) --------------
+        # the bound is relative: the streamed path must peak well below the
+        # batch path, whose floor is the full (serve_rows x features) design
+        # matrix the streaming mode exists to avoid materialising
+        tracemalloc.start()
+        loaded.predict(rows)
+        _current, batch_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        tracemalloc.start()
+        run_stream()
+        _current, stream_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        full_matrix_bytes = args.serve_rows * len(loaded.feature_names) * 8
+        batch_matrix_bytes = args.batch_rows * len(loaded.feature_names) * 8
+        print(
+            f"  stream peak {stream_peak / 1e6:.1f}MB vs batch peak "
+            f"{batch_peak / 1e6:.1f}MB (full matrix {full_matrix_bytes / 1e6:.1f}MB, "
+            f"micro-batch matrix {batch_matrix_bytes / 1e6:.1f}MB)"
+        )
+        if stream_peak >= batch_peak / 2:
+            failures.append(
+                f"streaming peak {stream_peak / 1e6:.1f}MB is not bounded by the "
+                f"micro-batch size (batch path peaks at {batch_peak / 1e6:.1f}MB; "
+                f"streaming must stay under half of it)"
+            )
+        results.append(
+            {
+                "bench": "predict-stream",
+                "seconds": stream_s,
+                "rows": args.serve_rows,
+                "batch_rows": args.batch_rows,
+                "peak_mb": stream_peak / 1e6,
+                "batch_peak_mb": batch_peak / 1e6,
+                "full_matrix_mb": full_matrix_bytes / 1e6,
+            }
+        )
+
+        print(f"\n{'bench':<18} {'seconds':>9}")
+        for row in results:
+            print(f"{row['bench']:<18} {row['seconds'] * 1e3:>7.1f}ms")
+        if args.json:
+            args.json.write_text(
+                json.dumps(
+                    {
+                        "suite": "serving",
+                        "train_rows": args.train_rows,
+                        "serve_rows": args.serve_rows,
+                        "results": results,
+                        "failures": failures,
+                    },
+                    indent=2,
+                )
+            )
+            print(f"wrote {args.json}")
+        if failures:
+            print("\nFAILURES:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

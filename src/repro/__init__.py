@@ -11,11 +11,14 @@ The public surface mirrors the paper's system decomposition:
 * :mod:`repro.ml` — the model substrate (forests, linear models, SVMs, ...).
 * :mod:`repro.datasets` — synthetic scenario and micro-benchmark generators.
 * :mod:`repro.evaluation` — the experiment harness behind the benchmarks.
+* :mod:`repro.serving` — fitted-pipeline artifacts and batch/streaming
+  inference (:class:`~repro.serving.FittedPipeline`).
 """
 
 from repro.core import ARDA, ARDAConfig, AugmentationReport
 from repro.datasets import AugmentationDataset, load_dataset
 from repro.selection import RIFS, make_selector
+from repro.serving import FittedPipeline
 
 __version__ = "1.0.0"
 
@@ -27,5 +30,6 @@ __all__ = [
     "load_dataset",
     "RIFS",
     "make_selector",
+    "FittedPipeline",
     "__version__",
 ]

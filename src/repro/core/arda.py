@@ -25,7 +25,7 @@ from repro.coreset import make_coreset_builder
 from repro.coreset.base import default_coreset_size
 from repro.core.config import ARDAConfig
 from repro.core.executor import make_executor
-from repro.core.join_execution import join_candidates_detailed
+from repro.core.join_execution import join_candidates_detailed, replay_kept_joins
 from repro.core.join_plan import build_join_plan
 from repro.core.results import AugmentationReport, BatchReport
 from repro.datasets.bundle import AugmentationDataset
@@ -163,6 +163,7 @@ class ARDA:
         kept_tables: list[str] = []
         # (candidate, kept positions within its added columns, loop-time names)
         kept_specs: list[tuple[JoinCandidate, list[int], list[str]]] = []
+        kept_spec_batches: list[int] = []  # batch index that kept each spec
         batch_reports: list[BatchReport] = []
         working = coreset
         join_time = 0.0
@@ -244,6 +245,7 @@ class ARDA:
                             kept_specs.append(
                                 (candidate, positions, [added[i] for i in positions])
                             )
+                            kept_spec_batches.append(batch_index)
                     # carry the kept columns forward so later batches can find
                     # co-predictors that span tables
                     carry = [c for c in joined.column_names if c not in foreign_set or c in newly_kept]
@@ -260,7 +262,40 @@ class ARDA:
 
         fit_start = time.perf_counter()
         base_score = self._final_score(base_table, target, task)
-        augmented_score = self._final_score(augmented_full, target, task)
+        pipeline = None
+        has_features = any(name != target for name in augmented_full.column_names)
+        if config.capture_pipeline and has_features:
+            # the capture path fits imputer/encoder through the serving
+            # kernels, which reproduce impute_table + to_design_matrix
+            # byte-for-byte — the holdout score below is therefore identical
+            # to the pre-capture _final_score(augmented_full, ...) result
+            from repro.serving.pipeline import fit_pipeline_from_training
+
+            pipeline, X_full, y_full = fit_pipeline_from_training(
+                target=target,
+                task=task,
+                base_table=base_table,
+                augmented_table=augmented_full,
+                kept_specs=kept_specs,
+                repository=repository,
+                estimator=self._make_serving_estimator(task),
+                seed=config.random_state,
+                soft_strategy=config.soft_join,
+                time_resample=config.time_resample,
+                max_categories=config.max_categories,
+                batch_of_spec=dict(enumerate(kept_spec_batches)),
+                metadata={"dataset": dataset_name or base_table.name},
+            )
+            augmented_score = holdout_score(
+                X_full,
+                y_full,
+                task,
+                estimator=self._make_final_estimator(task),
+                test_size=config.test_size,
+                random_state=config.random_state,
+            )
+        else:
+            augmented_score = self._final_score(augmented_full, target, task)
         fit_time = time.perf_counter() - fit_start
 
         return AugmentationReport(
@@ -281,6 +316,7 @@ class ARDA:
             coreset_time=coreset_time,
             fit_time=fit_time,
             executor=executor.name,
+            pipeline=pipeline,
         )
 
     # -- helpers ----------------------------------------------------------------------
@@ -315,30 +351,20 @@ class ARDA:
     ) -> Table:
         """Re-execute the kept joins on the full base table.
 
-        Kept columns are matched to their loop-time names positionally:
-        collision suffixes depend on which other columns were present when a
-        batch was joined, so a column's *name* can differ between the
-        coreset-batch join and this final join, but each candidate's added
-        columns keep the foreign table's column order in both.  Selecting by
-        position and renaming back to the loop-time name guarantees the final
-        table carries exactly the columns feature selection chose, under the
-        names the report lists.
+        Delegates to :func:`repro.core.join_execution.replay_kept_joins` —
+        the same positional-match/pinned-name replay kernel serving uses
+        (see its docstring for why matching by position is required).
         """
         config = self.config
-        joined, added_per_candidate = join_candidates_detailed(
+        return replay_kept_joins(
             base_table,
             repository,
-            [spec[0] for spec in kept_specs],
+            kept_specs,
             soft_strategy=config.soft_join,
             time_resample=config.time_resample,
             rng=np.random.default_rng(config.random_state),
             executor=executor,
         )
-        out_columns = list(base_table.columns())
-        for (candidate, positions, loop_names), added in zip(kept_specs, added_per_candidate):
-            for position, loop_name in zip(positions, loop_names):
-                out_columns.append(joined.column(added[position]).rename(loop_name))
-        return Table(out_columns, name=base_table.name)
 
     def _build_coreset(self, base_table: Table, target: str) -> Table:
         config = self.config
@@ -389,6 +415,18 @@ class ARDA:
             tree_method=self.config.tree_method,
             max_bins=self.config.max_bins,
         )
+
+    def _make_serving_estimator(self, task: str):
+        """The estimator serialised into the captured serving pipeline.
+
+        Always a random forest (the paper's estimator): forests round-trip
+        through the binary artifact bit-exactly via
+        :mod:`repro.ml.persistence`.  With ``estimator="automl"`` the AutoML
+        search still produces the *reported* scores, but the artifact carries
+        the forest — AutoML's winner can be any model family, which would
+        make artifacts unserialisable in the general case.
+        """
+        return self._make_selection_estimator(task)
 
     def _make_final_estimator(self, task: str):
         """The final estimator used for the reported scores."""

@@ -9,6 +9,19 @@ from dataclasses import dataclass, field
 class ARDAConfig:
     """All knobs of the augmentation pipeline, with the paper's defaults.
 
+    The canonical knob reference (one row per field, grouped by subsystem)
+    lives in ``docs/API.md``; this docstring is the source of truth for
+    semantics.
+
+    Determinism contract: for a fixed config, ``ARDA.augment`` is fully
+    deterministic — every random draw (coreset sampling, soft-join
+    tie-breaks, categorical imputation, noise injection, tree seeds and
+    bootstraps) descends from ``random_state`` via per-component
+    ``np.random.default_rng`` / ``SeedSequence.spawn`` streams, and the
+    ``executor`` / ``n_jobs`` / ``selection_n_jobs`` knobs change wall-clock
+    only, never results.  A config instance is never mutated by the pipeline;
+    the same instance can drive concurrent ``ARDA`` objects.
+
     Attributes
     ----------
     coreset_strategy:
@@ -80,6 +93,15 @@ class ARDAConfig:
         fanned out over the ``executor`` backend).  ``None`` inherits
         ``n_jobs``; the executor kind is shared with the join engine, and all
         backends produce byte-identical selections.
+    capture_pipeline:
+        Capture a servable :class:`~repro.serving.pipeline.FittedPipeline`
+        (accepted join plan, fitted encoders/imputers, selected features,
+        trained estimator) on :attr:`AugmentationReport.pipeline` at the end
+        of ``augment``.  Costs one extra estimator fit on the full augmented
+        table; the serving estimator is always a random forest (the paper's
+        estimator — with ``estimator="automl"`` the AutoML search still
+        drives the *reported* scores, but the artifact serialises a forest).
+        Disable for pure evaluation sweeps that never serve.
     """
 
     coreset_strategy: str = "uniform"
@@ -105,6 +127,7 @@ class ARDAConfig:
     tree_method: str | None = None
     max_bins: int = 255
     selection_n_jobs: int | None = None
+    capture_pipeline: bool = True
 
     def __post_init__(self):
         from repro.core.executor import EXECUTOR_NAMES

@@ -119,6 +119,49 @@ def _contributed_columns(
     return [col for col in joined.columns() if col.name not in base_names]
 
 
+def replay_kept_joins(
+    base: Table,
+    repository: DataRepository,
+    specs: list[tuple[JoinCandidate, list[int], list[str]]],
+    soft_strategy: str = "two_way_nearest",
+    time_resample: bool = True,
+    rng: np.random.Generator | None = None,
+    executor: JoinExecutor | None = None,
+) -> Table:
+    """Re-execute a list of kept joins on ``base`` under pinned output names.
+
+    ``specs`` pairs each candidate with the *positions* (within the columns
+    that candidate adds, in foreign-table column order) and the output names
+    of the columns to keep.  Collision suffixes depend on which other columns
+    are present when a batch is joined, so a kept column's freshly-joined
+    name can differ from the name feature selection saw — matching by
+    position and renaming to the pinned name guarantees the result carries
+    exactly the chosen columns under the recorded names, on any base table
+    that provides the key columns.
+
+    This is the single replay kernel behind both the training-time final
+    materialisation (:meth:`repro.core.arda.ARDA.augment_tables`) and the
+    serving-time :meth:`repro.serving.FittedPipeline.transform` — train and
+    serve cannot drift because they run the same code.  Determinism matches
+    :func:`join_candidates_detailed`: per-candidate RNGs are spawned from
+    ``rng``, so results are byte-identical across executor backends.
+    """
+    joined, added_per_candidate = join_candidates_detailed(
+        base,
+        repository,
+        [spec[0] for spec in specs],
+        soft_strategy=soft_strategy,
+        time_resample=time_resample,
+        rng=rng,
+        executor=executor,
+    )
+    out_columns = list(base.columns())
+    for (candidate, positions, names), added in zip(specs, added_per_candidate):
+        for position, name in zip(positions, names):
+            out_columns.append(joined.column(added[position]).rename(name))
+    return Table(out_columns, name=base.name)
+
+
 def join_candidates(
     base: Table,
     repository: DataRepository,

@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.relational.table import Table
+
+if TYPE_CHECKING:  # avoid a runtime core <-> serving import cycle
+    from repro.serving.pipeline import FittedPipeline
 
 
 @dataclass
@@ -28,6 +32,12 @@ class AugmentationReport:
     regression) measured on a holdout split of the *full* base table with the
     final estimator; error metrics for regression reporting are derived by the
     evaluation harness.
+
+    ``pipeline`` carries the fitted serving artifact
+    (:class:`~repro.serving.pipeline.FittedPipeline`) when
+    ``ARDAConfig.capture_pipeline`` is on: the accepted join plan, fitted
+    encoders/imputers, selected features with provenance and the trained
+    estimator, ready for ``save()`` and out-of-process inference.
     """
 
     dataset_name: str
@@ -47,6 +57,7 @@ class AugmentationReport:
     coreset_time: float = 0.0
     fit_time: float = 0.0
     executor: str = "serial"
+    pipeline: "FittedPipeline | None" = None
 
     @property
     def improvement(self) -> float:

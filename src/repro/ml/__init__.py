@@ -36,6 +36,7 @@ from repro.ml.svm import KernelSVC, LinearSVC
 from repro.ml.sparse_regression import SparseRegression
 from repro.ml.knn import KNeighborsClassifier, KNeighborsRegressor
 from repro.ml.automl import AutoMLSearch
+from repro.ml.persistence import estimator_from_state, estimator_to_state
 
 __all__ = [
     "BaseEstimator",
@@ -75,4 +76,6 @@ __all__ = [
     "KNeighborsClassifier",
     "KNeighborsRegressor",
     "AutoMLSearch",
+    "estimator_to_state",
+    "estimator_from_state",
 ]

@@ -113,6 +113,75 @@ class _BaseForest(BaseEstimator):
             self.feature_importances_ = np.zeros(n_features, dtype=np.float64)
 
 
+    # persistence ----------------------------------------------------------------
+
+    _PARAM_NAMES = (
+        "n_estimators",
+        "max_depth",
+        "min_samples_split",
+        "min_samples_leaf",
+        "max_features",
+        "bootstrap",
+        "random_state",
+        "tree_method",
+        "max_bins",
+        "n_jobs",
+    )
+
+    def to_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """The fitted forest as ``(plain doc, named arrays)``.
+
+        Per-tree arrays are namespaced ``tree<i>/<name>`` so the whole forest
+        flattens into one page dictionary for
+        :mod:`repro.serving.artifact`.  The executor backend is stored by
+        *name* (a live pool is process state, not model state); a restored
+        forest predicts bit-identically but refits on whatever executor it is
+        configured with.
+        """
+        if not self.estimators_:
+            raise RuntimeError("cannot serialise an unfitted forest")
+        executor = self.executor if isinstance(self.executor, str) else self.executor.name
+        doc = {
+            "params": {name: getattr(self, name) for name in self._PARAM_NAMES},
+            "executor": executor,
+            "trees": [],
+        }
+        arrays: dict[str, np.ndarray] = {
+            "importances": np.asarray(self.feature_importances_, dtype=np.float64)
+        }
+        for i, tree in enumerate(self.estimators_):
+            tree_doc, tree_arrays = tree.to_state()
+            doc["trees"].append(tree_doc)
+            for key, value in tree_arrays.items():
+                arrays[f"tree{i}/{key}"] = value
+        return doc, arrays
+
+    def _restore_state(self, doc: dict, arrays: dict[str, np.ndarray]) -> None:
+        params = doc["params"]
+        for name in self._PARAM_NAMES:
+            if name in params:
+                setattr(self, name, params[name])
+        self.executor = doc.get("executor", "thread")
+        tree_cls = type(self._make_tree(0))
+        self.estimators_ = []
+        for i, tree_doc in enumerate(doc["trees"]):
+            prefix = f"tree{i}/"
+            tree_arrays = {
+                key[len(prefix):]: value
+                for key, value in arrays.items()
+                if key.startswith(prefix)
+            }
+            self.estimators_.append(tree_cls.from_state(tree_doc, tree_arrays))
+        self.feature_importances_ = np.asarray(arrays["importances"], dtype=np.float64)
+
+    @classmethod
+    def from_state(cls, doc: dict, arrays: dict[str, np.ndarray]):
+        """Rebuild a fitted forest written by :meth:`to_state`."""
+        forest = cls()
+        forest._restore_state(doc, arrays)
+        return forest
+
+
 class RandomForestRegressor(_BaseForest, RegressorMixin):
     """Bagged ensemble of CART regression trees (prediction = mean of trees)."""
 
@@ -162,6 +231,16 @@ class RandomForestClassifier(_BaseForest, ClassifierMixin):
             tree_method=self.tree_method,
             max_bins=self.max_bins,
         )
+
+    def to_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """See :meth:`_BaseForest.to_state`; adds the forest-level class vector."""
+        doc, arrays = super().to_state()
+        arrays["classes"] = np.asarray(self.classes_, dtype=np.float64)
+        return doc, arrays
+
+    def _restore_state(self, doc: dict, arrays: dict[str, np.ndarray]) -> None:
+        super()._restore_state(doc, arrays)
+        self.classes_ = np.asarray(arrays["classes"], dtype=np.float64)
 
     def predict_proba(self, X) -> np.ndarray:
         """Average the class-probability estimates of all trees.

@@ -1,0 +1,67 @@
+"""Estimator state serialisation for the serving artifact.
+
+Fitted estimators flatten into ``(doc, arrays)`` pairs — a JSON-serialisable
+document plus named float/int arrays — which the serving layer writes as
+binary pages in the same page format the table persistence layer uses
+(:mod:`repro.serving.artifact`).  Only the estimator kinds the pipeline
+actually serves are registered (trees and forests, the paper's estimator);
+asking for anything else raises a clear error instead of falling back to
+pickle, so artifacts stay inspectable and version-checkable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+# kind tag <-> estimator class; tags are stored in artifact headers, so they
+# are part of the artifact format and must stay stable
+_ESTIMATOR_KINDS: dict[str, type] = {
+    "decision_tree_regressor": DecisionTreeRegressor,
+    "decision_tree_classifier": DecisionTreeClassifier,
+    "random_forest_regressor": RandomForestRegressor,
+    "random_forest_classifier": RandomForestClassifier,
+}
+_KIND_OF_CLASS = {cls: kind for kind, cls in _ESTIMATOR_KINDS.items()}
+
+
+def serializable_estimator_kinds() -> list[str]:
+    """The registered estimator kind tags, in registration order."""
+    return list(_ESTIMATOR_KINDS)
+
+
+def estimator_to_state(estimator: BaseEstimator) -> tuple[dict, dict[str, np.ndarray]]:
+    """Flatten a fitted estimator into ``(doc, arrays)``.
+
+    The doc carries a ``kind`` tag naming the registered class; arrays carry
+    the numeric model state (see each class's ``to_state``).  Raises
+    ``TypeError`` for estimator types without a registered state format.
+    """
+    kind = _KIND_OF_CLASS.get(type(estimator))
+    if kind is None:
+        raise TypeError(
+            f"{type(estimator).__name__} has no registered serialisation; "
+            f"serialisable kinds: {serializable_estimator_kinds()}"
+        )
+    doc, arrays = estimator.to_state()
+    return {"kind": kind, **doc}, arrays
+
+
+def estimator_from_state(doc: dict, arrays: dict[str, np.ndarray]) -> BaseEstimator:
+    """Rebuild a fitted estimator from :func:`estimator_to_state` output.
+
+    The restored estimator predicts bit-identically to the one serialised.
+    Raises ``ValueError`` on an unknown ``kind`` tag (e.g. an artifact written
+    by a newer build).
+    """
+    kind = doc.get("kind")
+    cls = _ESTIMATOR_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown estimator kind {kind!r}; "
+            f"this build reads: {serializable_estimator_kinds()}"
+        )
+    return cls.from_state(doc, arrays)

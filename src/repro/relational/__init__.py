@@ -33,8 +33,14 @@ from repro.relational.soft_join import (
 )
 from repro.relational.resample import resample_to_granularity
 from repro.relational.aggregate import group_by_aggregate
-from repro.relational.imputation import impute_table
-from repro.relational.encoding import encode_features, to_design_matrix
+from repro.relational.imputation import FittedImputer, impute_table
+from repro.relational.encoding import (
+    FittedEncoder,
+    encode_features,
+    encode_features_binned,
+    to_binned_matrix,
+    to_design_matrix,
+)
 from repro.relational.io import read_csv, write_csv
 from repro.relational.persist import (
     TableFormatError,
@@ -60,8 +66,12 @@ __all__ = [
     "resample_to_granularity",
     "group_by_aggregate",
     "impute_table",
+    "FittedImputer",
     "encode_features",
+    "encode_features_binned",
     "to_design_matrix",
+    "to_binned_matrix",
+    "FittedEncoder",
     "read_csv",
     "write_csv",
     "read_table",

@@ -3,6 +3,26 @@
 ARDA binarises categorical features into one-hot indicator columns (so the
 result is amenable to sketching and to the linear models in the ranking
 ensemble) and leaves numeric / datetime / boolean columns as-is.
+
+Three sibling entry points share the same per-column kernels:
+
+* :func:`encode_features` / :func:`to_design_matrix` — the float design
+  matrix used by selection search loops and exact-kernel estimators.
+* :func:`encode_features_binned` / :func:`to_binned_matrix` — the quantised
+  :class:`~repro.ml.binning.BinnedMatrix` consumed by histogram-kernel
+  estimators (``selector.select(..., binned=...)``); byte-identical feature
+  layout and bins to quantising the float matrix, computed straight from
+  dictionary codes.
+* :class:`FittedEncoder` — the serving path: :meth:`FittedEncoder.fit`
+  records each column's encoding decision (one-hot category list, per-value
+  frequency table) and :meth:`FittedEncoder.transform` replays it on unseen
+  rows through the *same* one-hot / frequency kernels, so transform of the
+  training table reproduces the training matrix byte-for-byte while unseen
+  categories encode as all-zero indicators / zero frequency.
+
+Determinism contract: encoding consumes no RNG draws itself (the ``seed``
+parameters only feed the optional imputation pass); every function leaves its
+input table untouched and returns fresh arrays.
 """
 
 from __future__ import annotations
@@ -76,17 +96,31 @@ def encode_features(
         if col.ctype is CATEGORICAL:
             block, names = _encode_categorical(col, max_categories)
         else:
-            block = np.asarray(col.values, dtype=np.float64).reshape(n, -1)
+            block = _numeric_block(col)
             names = [col.name]
         blocks.append(block)
         feature_names.extend(names)
         source_columns.extend([col.name] * block.shape[1])
+    matrix = _assemble_matrix(blocks, n)
+    return EncodedMatrix(matrix=matrix, feature_names=feature_names, source_columns=source_columns)
+
+
+def _numeric_block(col: Column) -> np.ndarray:
+    """A float-backed column as an ``(n, 1)`` matrix block (0-row safe)."""
+    return np.asarray(col.values, dtype=np.float64).reshape(len(col), 1)
+
+
+def _assemble_matrix(blocks: list[np.ndarray], n: int) -> np.ndarray:
+    """Stack per-column blocks and sanitise non-finite values to zero.
+
+    Shared by the training and fitted paths so both produce the exact same
+    float stream for the same blocks.
+    """
     if blocks:
         matrix = np.column_stack(blocks)
     else:
         matrix = np.empty((n, 0), dtype=np.float64)
-    matrix = np.nan_to_num(matrix, nan=0.0, posinf=0.0, neginf=0.0)
-    return EncodedMatrix(matrix=matrix, feature_names=feature_names, source_columns=source_columns)
+    return np.nan_to_num(matrix, nan=0.0, posinf=0.0, neginf=0.0)
 
 
 def _one_hot_positions(col: Column, categories: list) -> np.ndarray:
@@ -114,21 +148,40 @@ def _frequency_per_code(col: Column) -> np.ndarray:
     return counts / max(len(codes), 1)
 
 
+def _one_hot_block(col: Column, categories: list) -> np.ndarray:
+    """The one-hot indicator block for an explicit category list.
+
+    Shared by the training and fitted paths: values outside ``categories``
+    (including fit-time-unseen dictionary entries) produce all-zero rows.
+    """
+    columns = _one_hot_positions(col, categories)
+    block = np.zeros((len(columns), len(categories)), dtype=np.float64)
+    rows = np.nonzero(columns >= 0)[0]
+    block[rows, columns[rows]] = 1.0
+    return block
+
+
+def _frequency_block(col: Column, frequency_per_code: np.ndarray) -> np.ndarray:
+    """The frequency column for a per-code frequency array (one row gather).
+
+    ``frequency_per_code`` must carry a trailing 0.0 slot so code ``-1``
+    (missing) reads zero.  Shared by the training path (frequencies of the
+    column itself) and the fitted path (fit-time frequencies remapped onto
+    the input's dictionary).
+    """
+    n = len(col.codes)
+    return frequency_per_code[col.codes].reshape(n, 1).astype(np.float64)
+
+
 def _encode_categorical(col: Column, max_categories: int) -> tuple[np.ndarray, list[str]]:
     """One-hot or frequency encode a categorical column (codes end to end)."""
-    codes = col.codes
-    n = len(codes)
     categories = col.unique()
     if 0 < len(categories) <= max_categories:
-        columns = _one_hot_positions(col, categories)
-        block = np.zeros((n, len(categories)), dtype=np.float64)
-        rows = np.nonzero(columns >= 0)[0]
-        block[rows, columns[rows]] = 1.0
+        block = _one_hot_block(col, categories)
         names = [f"{col.name}={cat}" for cat in categories]
         return block, names
     # frequency encoding for high-cardinality (or all-missing) columns
-    frequency = _frequency_per_code(col)[codes]
-    return frequency.reshape(n, 1).astype(np.float64), [f"{col.name}__freq"]
+    return _frequency_block(col, _frequency_per_code(col)), [f"{col.name}__freq"]
 
 
 def to_design_matrix(
@@ -267,6 +320,157 @@ def to_binned_matrix(
         max_bins=max_bins,
     )
     return binned, y
+
+
+# -- fitted replay -------------------------------------------------------------
+
+
+@dataclass
+class ColumnEncoderState:
+    """The fitted encoding decision of one table column.
+
+    ``kind`` is ``"numeric"`` (pass-through), ``"onehot"`` (indicator per
+    fit-time category, in fit-time order) or ``"frequency"`` (each value
+    replaced by its fit-time relative frequency; unseen values read 0.0).
+    """
+
+    name: str
+    kind: str
+    feature_names: list[str]
+    categories: list[str] | None = None
+    frequency_values: list[str] | None = None
+    frequencies: np.ndarray | None = None
+
+
+class FittedEncoder:
+    """Per-column encoding decisions captured from one training table.
+
+    Built by :meth:`fit` over the (already imputed) training table;
+    :meth:`transform` replays the decisions on any table carrying the fitted
+    feature columns, producing a matrix with the training feature layout.
+    Unseen categorical values one-hot to all-zero rows and frequency-encode
+    to 0.0 — the same treatment the training kernels give unlisted values.
+    """
+
+    def __init__(self, columns: list[ColumnEncoderState], max_categories: int = 20):
+        self.columns = columns
+        self.max_categories = max_categories
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Matrix column names, in order."""
+        return [name for state in self.columns for name in state.feature_names]
+
+    @property
+    def source_columns(self) -> list[str]:
+        """The table column each matrix column derives from, in order."""
+        return [
+            state.name for state in self.columns for _ in state.feature_names
+        ]
+
+    @classmethod
+    def fit(
+        cls,
+        table: Table,
+        exclude: Sequence[str] = (),
+        max_categories: int = 20,
+    ) -> tuple["FittedEncoder", EncodedMatrix]:
+        """Record every column's encoding decision and return the encoded matrix.
+
+        ``table`` must already be imputed (see :class:`FittedImputer` in
+        :mod:`repro.relational.imputation`); the returned matrix is
+        byte-identical to ``encode_features(table, exclude, max_categories,
+        impute=False)``, produced by running :meth:`transform` on the
+        recorded state.
+        """
+        exclude_set = set(exclude)
+        states: list[ColumnEncoderState] = []
+        for col in table.columns():
+            if col.name in exclude_set:
+                continue
+            if col.ctype is CATEGORICAL:
+                categories = col.unique()
+                if 0 < len(categories) <= max_categories:
+                    states.append(
+                        ColumnEncoderState(
+                            name=col.name,
+                            kind="onehot",
+                            feature_names=[f"{col.name}={cat}" for cat in categories],
+                            categories=list(categories),
+                        )
+                    )
+                else:
+                    frequency = _frequency_per_code(col)
+                    states.append(
+                        ColumnEncoderState(
+                            name=col.name,
+                            kind="frequency",
+                            feature_names=[f"{col.name}__freq"],
+                            frequency_values=list(col.dictionary),
+                            frequencies=frequency[: len(col.dictionary)].astype(
+                                np.float64
+                            ),
+                        )
+                    )
+            else:
+                states.append(
+                    ColumnEncoderState(
+                        name=col.name, kind="numeric", feature_names=[col.name]
+                    )
+                )
+        encoder = cls(states, max_categories=max_categories)
+        matrix = encoder.transform(table)
+        return encoder, EncodedMatrix(
+            matrix=matrix,
+            feature_names=encoder.feature_names,
+            source_columns=encoder.source_columns,
+        )
+
+    def transform(self, table: Table) -> np.ndarray:
+        """Encode ``table`` with the fitted decisions (training feature layout).
+
+        Every fitted column must be present in the input (``KeyError``
+        otherwise); extra input columns — e.g. the training target riding
+        along — are ignored.  The input is expected to be imputed already;
+        stray NaNs are sanitised to 0.0 exactly as the training path does.
+        """
+        missing = [state.name for state in self.columns if state.name not in table]
+        if missing:
+            raise KeyError(f"input is missing fitted feature columns: {missing}")
+        blocks: list[np.ndarray] = []
+        n = table.num_rows
+        for state in self.columns:
+            col = table.column(state.name)
+            if state.kind == "numeric":
+                if col.ctype is CATEGORICAL:
+                    raise TypeError(
+                        f"column {state.name!r} was numeric at fit time, got categorical"
+                    )
+                blocks.append(_numeric_block(col))
+                continue
+            if col.ctype is not CATEGORICAL:
+                raise TypeError(
+                    f"column {state.name!r} was categorical at fit time, "
+                    f"got {col.ctype.value}"
+                )
+            if state.kind == "onehot":
+                blocks.append(_one_hot_block(col, state.categories))
+            else:
+                blocks.append(_frequency_block(col, self._remap_frequencies(col, state)))
+        return _assemble_matrix(blocks, n)
+
+    @staticmethod
+    def _remap_frequencies(col: Column, state: ColumnEncoderState) -> np.ndarray:
+        """Fit-time per-value frequencies remapped onto the input's dictionary.
+
+        The result has the trailing 0.0 slot :func:`_frequency_block` expects;
+        values the fit never saw read 0.0.
+        """
+        mapping = dict(zip(state.frequency_values, state.frequencies))
+        out = np.zeros(len(col.dictionary) + 1, dtype=np.float64)
+        for code, value in enumerate(col.dictionary):
+            out[code] = mapping.get(value, 0.0)
+        return out
 
 
 def encode_target(column: Column) -> np.ndarray:

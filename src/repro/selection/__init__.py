@@ -17,6 +17,7 @@ from repro.selection.base import (
     CLASSIFICATION,
     REGRESSION,
     AllFeaturesSelector,
+    FeatureProvenance,
     FeatureRanker,
     FeatureSelector,
     SelectionResult,
@@ -57,6 +58,7 @@ __all__ = [
     "CLASSIFICATION",
     "REGRESSION",
     "AllFeaturesSelector",
+    "FeatureProvenance",
     "FeatureRanker",
     "FeatureSelector",
     "SelectionResult",

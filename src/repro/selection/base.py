@@ -113,6 +113,44 @@ def holdout_score(
 
 
 @dataclass
+class FeatureProvenance:
+    """Where one selected (kept) augmentation column came from.
+
+    Recorded by the pipeline for every foreign column feature selection kept:
+    ``column`` is the name the column carries in the augmented table (and in
+    the serving artifact), ``table`` the repository table that contributed
+    it, ``position`` its index within the columns that table's join added
+    (stable across renames — collision suffixes can change a column's name
+    between the selection batch and final materialisation, positions cannot),
+    and ``batch_index`` the join-plan batch whose selection round kept it.
+    """
+
+    column: str
+    table: str
+    position: int
+    batch_index: int
+
+    def to_doc(self) -> dict:
+        """Plain-JSON form stored in serving artifacts."""
+        return {
+            "column": self.column,
+            "table": self.table,
+            "position": self.position,
+            "batch_index": self.batch_index,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "FeatureProvenance":
+        """Inverse of :meth:`to_doc`."""
+        return cls(
+            column=doc["column"],
+            table=doc["table"],
+            position=int(doc["position"]),
+            batch_index=int(doc["batch_index"]),
+        )
+
+
+@dataclass
 class SelectionResult:
     """Outcome of running a feature selector."""
 

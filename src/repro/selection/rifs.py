@@ -169,7 +169,15 @@ class RIFS(FeatureSelector):
         ``binned`` may carry a prebuilt quantisation of ``X`` (e.g. straight
         from :func:`repro.relational.encoding.to_binned_matrix`); otherwise
         the real features are binned here, once, when any ranker runs on the
-        histogram kernel.
+        histogram kernel.  A passed ``binned`` must quantise exactly the
+        columns of ``X`` in order — it is shared read-only across rounds and
+        never mutated.
+
+        RNG contract: round ``i`` consumes only the ``i``-th child of
+        ``SeedSequence(random_state).spawn(n_rounds)`` (noise draw first,
+        then one per-ranker seed per configured ranker); the selector-level
+        RNG state is untouched.  Rounds are summed in round order, so
+        serial/thread/process executors return bit-identical fractions.
         """
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
@@ -221,7 +229,18 @@ class RIFS(FeatureSelector):
     def select(
         self, X, y, task=None, estimator=None, binned: BinnedMatrix | None = None
     ) -> SelectionResult:
-        """Run the full RIFS procedure and return the selected feature indices."""
+        """Run the full RIFS procedure and return the selected feature indices.
+
+        ``binned`` (optional) is the shared :class:`BinnedMatrix` fast path —
+        see :meth:`noise_beat_fractions` for its contract; callers should
+        probe :meth:`uses_binned_matrix` first so an all-exact ranker list
+        does not pay for a binning pass.  Inputs are never mutated; the
+        threshold wrapper's holdout splits derive from ``random_state`` (via
+        :func:`~repro.selection.base.holdout_score`), so repeated calls with
+        the same arguments return identical selections.  Diagnostics of the
+        last call are exposed on ``self.diagnostics_`` (the only attribute
+        ``select`` writes).
+        """
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
         task = task or infer_task(y)
@@ -318,7 +337,13 @@ class NoiseInjectionRankingSelector(FeatureSelector):
         return self._rifs.uses_binned_matrix(task)
 
     def select(self, X, y, task=None, estimator=None, binned=None) -> SelectionResult:
-        """Delegate to a single-ranker RIFS instance."""
+        """Delegate to a single-ranker RIFS instance.
+
+        Accepts the same optional shared ``binned`` matrix as
+        :meth:`RIFS.select` (forwarded untouched) and inherits its
+        determinism contract: results depend only on the constructor
+        arguments and inputs, never on the executor backend.
+        """
         result = self._rifs.select(X, y, task=task, estimator=estimator, binned=binned)
         result.method = self.name
         return result

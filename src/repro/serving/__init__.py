@@ -1,0 +1,36 @@
+"""Serving: persistable fitted pipelines and batch/streaming inference.
+
+``ARDA.augment`` learns a join plan, encoders, imputation statistics, a
+selected-feature set and a trained estimator; this package packages all of it
+as a single versioned artifact (:class:`FittedPipeline`) that can be saved,
+loaded in a fresh process, validated against a repository by content
+fingerprint, and used to transform/predict on unseen base rows without ever
+re-running discovery or feature selection.  ``python -m repro.serve`` is the
+command-line front end for artifact inspection and batch scoring.
+"""
+
+from repro.serving.artifact import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    read_artifact,
+    read_artifact_header,
+    write_artifact,
+)
+from repro.serving.pipeline import (
+    DEFAULT_BATCH_ROWS,
+    FittedPipeline,
+    JoinStep,
+    fit_pipeline_from_training,
+)
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "DEFAULT_BATCH_ROWS",
+    "FittedPipeline",
+    "JoinStep",
+    "fit_pipeline_from_training",
+    "read_artifact",
+    "read_artifact_header",
+    "write_artifact",
+]

@@ -1,0 +1,517 @@
+"""Tests for the serving layer: fitted pipelines, artifacts, inference replay.
+
+Covers the PR-5 acceptance surface:
+
+* ``transform`` on the training base table reproduces the training design
+  matrix byte-for-byte (direct and hypothesis-pinned through the fitted
+  imputer/encoder kernels);
+* artifact round trips (save -> load -> identical transforms/predictions),
+  including through a fresh process;
+* failure modes that must raise instead of mis-serving: artifact version
+  mismatch, truncation, repository fingerprint drift, missing tables/columns;
+* serving edge cases: unseen dictionary values, all-missing key columns,
+  empty batches, streaming micro-batches, executor determinism;
+* estimator state round trips through the page format.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.arda import ARDA
+from repro.core.config import ARDAConfig
+from repro.datasets.synthetic import RelationalDatasetBuilder, SignalTableSpec
+from repro.discovery.repository import DataRepository
+from repro.ml import (
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    estimator_from_state,
+    estimator_to_state,
+)
+from repro.relational.column import Column
+from repro.relational.encoding import FittedEncoder, encode_features, to_design_matrix
+from repro.relational.imputation import FittedImputer, impute_table
+from repro.relational.schema import CATEGORICAL, NUMERIC
+from repro.relational.table import Table
+from repro.serving import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    FittedPipeline,
+    read_artifact,
+    write_artifact,
+)
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+# -- fixtures ----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """One ARDA run over a synthetic relational dataset, pipeline captured."""
+    builder = RelationalDatasetBuilder(
+        "serving", task="regression", n_rows=160, n_entities=50, seed=3
+    )
+    builder.add_signal_table(SignalTableSpec("signal", n_signal_columns=2, weight=2.0))
+    builder.add_noise_tables(2, prefix="noise", n_columns=2)
+    dataset = builder.build()
+    report = ARDA(ARDAConfig()).augment(dataset)
+    assert report.pipeline is not None
+    return dataset, report
+
+
+@pytest.fixture(scope="module")
+def training_matrix(trained):
+    """The training design matrix, computed the pre-serving way."""
+    dataset, report = trained
+    X, y, _encoding = to_design_matrix(
+        impute_table(report.augmented_table, seed=0),
+        dataset.target,
+        max_categories=12,
+        seed=0,
+    )
+    return X, y
+
+
+# -- train-matrix byte identity ----------------------------------------------
+
+
+class TestTrainByteIdentity:
+    def test_transform_reproduces_training_matrix(self, trained, training_matrix):
+        dataset, report = trained
+        X_ref, _y = training_matrix
+        X = report.pipeline.transform(dataset.base_table, repository=dataset.repository)
+        assert X.shape == X_ref.shape
+        assert X.tobytes() == X_ref.tobytes()
+
+    def test_round_tripped_pipeline_reproduces_training_matrix(
+        self, trained, training_matrix, tmp_path
+    ):
+        dataset, report = trained
+        X_ref, _y = training_matrix
+        path = tmp_path / "model.pipeline"
+        report.pipeline.save(path)
+        loaded = FittedPipeline.load(path, repository=dataset.repository)
+        X = loaded.transform(dataset.base_table)
+        assert X.tobytes() == X_ref.tobytes()
+
+    def test_feature_names_match_training_layout(self, trained):
+        dataset, report = trained
+        encoding = to_design_matrix(
+            impute_table(report.augmented_table, seed=0),
+            dataset.target,
+            max_categories=12,
+            seed=0,
+        )[2]
+        assert report.pipeline.feature_names == encoding.feature_names
+
+    def test_provenance_covers_kept_columns(self, trained):
+        _dataset, report = trained
+        recorded = {p.column for p in report.pipeline.provenance}
+        assert recorded == set(report.kept_columns)
+        for p in report.pipeline.provenance:
+            assert p.table in report.kept_tables
+            assert p.batch_index >= 0
+
+
+# -- hypothesis: fitted kernels == training kernels ---------------------------
+
+
+cat_entries = st.one_of(
+    st.none(), st.sampled_from(["a", "bb", "", "日本語", "x y", "-1.5"])
+)
+num_entries = st.one_of(st.none(), st.sampled_from([0.0, -1.5, 2.0**40, 3.25]))
+
+
+@st.composite
+def mixed_tables(draw):
+    n_rows = draw(st.integers(min_value=0, max_value=20))
+    n_cols = draw(st.integers(min_value=0, max_value=4))
+    data, types = {}, {}
+    for i in range(n_cols):
+        if draw(st.booleans()):
+            name = f"cat{i}"
+            data[name] = draw(st.lists(cat_entries, min_size=n_rows, max_size=n_rows))
+            types[name] = CATEGORICAL
+        else:
+            name = f"num{i}"
+            data[name] = draw(st.lists(num_entries, min_size=n_rows, max_size=n_rows))
+            types[name] = NUMERIC
+    return Table.from_dict(data, types=types, name="generated")
+
+
+class TestFittedKernelsMatchTraining:
+    @settings(max_examples=60, deadline=None)
+    @given(table=mixed_tables(), seed=st.integers(min_value=0, max_value=5))
+    def test_fitted_imputer_replays_training_imputation(self, table, seed):
+        reference = impute_table(table, seed=seed)
+        imputer, fitted = FittedImputer.fit(table, seed=seed)
+        assert fitted == reference
+        assert imputer.transform(table) == reference
+
+    @settings(max_examples=60, deadline=None)
+    @given(table=mixed_tables(), max_categories=st.integers(min_value=1, max_value=6))
+    def test_fitted_encoder_replays_training_encoding(self, table, max_categories):
+        imputed = impute_table(table, seed=0)
+        reference = encode_features(
+            imputed, max_categories=max_categories, impute=False
+        )
+        encoder, encoded = FittedEncoder.fit(imputed, max_categories=max_categories)
+        assert encoded.feature_names == reference.feature_names
+        assert encoded.source_columns == reference.source_columns
+        assert encoded.matrix.tobytes() == reference.matrix.tobytes()
+        assert encoder.transform(imputed).tobytes() == reference.matrix.tobytes()
+
+
+# -- artifact failure modes ---------------------------------------------------
+
+
+class TestArtifactErrors:
+    def test_version_mismatch_raises(self, trained, tmp_path):
+        _dataset, report = trained
+        path = tmp_path / "model.pipeline"
+        report.pipeline.save(path)
+        raw = bytearray(path.read_bytes())
+        bad_version = (ARTIFACT_VERSION + 1).to_bytes(4, "little")
+        raw[8:12] = bad_version
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ArtifactError, match="version"):
+            FittedPipeline.load(path)
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "junk.pipeline"
+        path.write_bytes(b"not an artifact at all")
+        with pytest.raises(ArtifactError, match="magic"):
+            FittedPipeline.load(path)
+
+    def test_truncated_pages_raise(self, trained, tmp_path):
+        _dataset, report = trained
+        path = tmp_path / "model.pipeline"
+        report.pipeline.save(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 64])
+        with pytest.raises(ArtifactError, match="truncated"):
+            FittedPipeline.load(path)
+
+    def test_object_arrays_rejected(self, tmp_path):
+        with pytest.raises(TypeError, match="dtype"):
+            write_artifact(
+                tmp_path / "bad.pipeline",
+                {"doc": True},
+                {"page": np.array(["a", "b"], dtype=object)},
+            )
+
+    def test_round_trip_preserves_doc_and_arrays(self, tmp_path):
+        doc = {"nested": {"pi": 3.25}, "list": [1, "two"]}
+        arrays = {
+            "f": np.arange(5, dtype=np.float64),
+            "i": np.arange(6, dtype=np.int32).reshape(2, 3),
+            "u": np.arange(4, dtype=np.uint8),
+        }
+        path = tmp_path / "ok.pipeline"
+        write_artifact(path, doc, arrays)
+        loaded_doc, loaded_arrays = read_artifact(path)
+        assert loaded_doc == doc
+        assert set(loaded_arrays) == set(arrays)
+        for name, array in arrays.items():
+            assert loaded_arrays[name].dtype == array.dtype
+            assert np.array_equal(loaded_arrays[name], array)
+
+
+class TestFingerprintDrift:
+    def test_drifted_repository_table_raises(self, trained, tmp_path):
+        dataset, report = trained
+        path = tmp_path / "model.pipeline"
+        report.pipeline.save(path)
+        drifted = DataRepository()
+        for name in dataset.repository.table_names:
+            table = dataset.repository.get(name)
+            if name == report.pipeline.joins[0].foreign_table:
+                # perturb one value: content fingerprint must change
+                victim = table.columns()[-1]
+                values = list(victim.values)
+                if victim.ctype is CATEGORICAL:
+                    values[0] = "drift"
+                else:
+                    values[0] = (values[0] if values[0] == values[0] else 0.0) + 1.0
+                table = table.with_column(Column(victim.name, values, victim.ctype))
+            drifted.add(table.rename(name))
+        with pytest.raises(ArtifactError, match="drifted"):
+            FittedPipeline.load(path, repository=drifted)
+
+    def test_missing_table_raises(self, trained, tmp_path):
+        dataset, report = trained
+        path = tmp_path / "model.pipeline"
+        report.pipeline.save(path)
+        partial = DataRepository()
+        kept = {step.foreign_table for step in report.pipeline.joins}
+        for name in dataset.repository.table_names:
+            if name not in kept:
+                partial.add(dataset.repository.get(name))
+        with pytest.raises(ArtifactError, match="no table"):
+            FittedPipeline.load(path, repository=partial)
+
+    def test_disk_backed_repository_validates_from_headers(self, trained, tmp_path):
+        dataset, report = trained
+        lake = tmp_path / "lake"
+        lake.mkdir()
+        for name in dataset.repository.table_names:
+            dataset.repository.get(name).save(lake / f"{name}.tbl")
+        path = tmp_path / "model.pipeline"
+        report.pipeline.save(path)
+        repo = DataRepository.open(lake)
+        loaded = FittedPipeline.load(path, repository=repo)
+        X = loaded.transform(dataset.base_table)
+        assert X.shape[0] == dataset.base_table.num_rows
+
+
+# -- serving edge cases -------------------------------------------------------
+
+
+class TestServingEdgeCases:
+    def test_unseen_dictionary_values(self, trained):
+        dataset, report = trained
+        pipeline = report.pipeline
+        rows = dataset.base_table.head(5)
+        mutated = []
+        for col in rows.columns():
+            if col.ctype is CATEGORICAL:
+                values = list(col.values)
+                values[0] = "never-seen-in-training"
+                mutated.append(Column(col.name, values, CATEGORICAL))
+            else:
+                mutated.append(col)
+        X = pipeline.transform(
+            Table(mutated, name=rows.name), repository=dataset.repository
+        )
+        assert X.shape == (5, len(pipeline.feature_names))
+        assert np.isfinite(X).all()
+
+    def test_all_missing_key_columns(self, trained):
+        dataset, report = trained
+        pipeline = report.pipeline
+        rows = dataset.base_table.head(4)
+        key_columns = {b for step in pipeline.joins for b, _f, _s in step.keys}
+        assert key_columns, "fixture pipeline must replay at least one join"
+        mutated = []
+        for col in rows.columns():
+            if col.name in key_columns:
+                mutated.append(Column(col.name, [None] * 4, col.ctype))
+            else:
+                mutated.append(col)
+        X = pipeline.transform(
+            Table(mutated, name=rows.name), repository=dataset.repository
+        )
+        # unmatched rows get imputed foreign values, never NaNs
+        assert X.shape == (4, len(pipeline.feature_names))
+        assert np.isfinite(X).all()
+        predictions = pipeline.predict(
+            Table(mutated, name=rows.name), repository=dataset.repository
+        )
+        assert predictions.shape == (4,)
+
+    def test_empty_batch(self, trained):
+        dataset, report = trained
+        pipeline = report.pipeline
+        empty = dataset.base_table.head(0)
+        X = pipeline.transform(empty, repository=dataset.repository)
+        assert X.shape == (0, len(pipeline.feature_names))
+        predictions = pipeline.predict(empty, repository=dataset.repository)
+        assert predictions.shape == (0,)
+
+    def test_missing_base_column_raises(self, trained):
+        dataset, report = trained
+        required = report.pipeline.required_columns[0]
+        rows = dataset.base_table.drop([required])
+        with pytest.raises(KeyError, match=required):
+            report.pipeline.transform(rows, repository=dataset.repository)
+
+    def test_type_drift_raises(self, trained):
+        dataset, report = trained
+        pipeline = report.pipeline
+        name = next(
+            col.name
+            for col in dataset.base_table.columns()
+            if col.ctype is not CATEGORICAL and col.name != pipeline.target
+        )
+        rows = dataset.base_table.with_column(
+            Column(name, ["x"] * dataset.base_table.num_rows, CATEGORICAL)
+        )
+        with pytest.raises(TypeError, match=name):
+            pipeline.transform(rows, repository=dataset.repository)
+
+    def test_featureless_augment_skips_capture(self):
+        # a base table with nothing but the target cannot be served; augment
+        # must complete (as before PR 5) with pipeline=None, not crash on an
+        # unfitted estimator at save/predict time
+        base = Table.from_dict({"y": [1.0, 2.0, 3.0, 4.0]}, name="base")
+        repository = DataRepository(
+            [Table.from_dict({"k": [0.0], "v": [1.0]}, name="aux")]
+        )
+        report = ARDA(ARDAConfig()).augment_tables(
+            base, repository, target="y", candidates=[]
+        )
+        assert report.pipeline is None
+
+    def test_target_column_optional(self, trained, training_matrix):
+        dataset, report = trained
+        X_ref, _y = training_matrix
+        rows = dataset.base_table.drop([dataset.target])
+        X = report.pipeline.transform(rows, repository=dataset.repository)
+        # dropping the (numeric) target does not consume RNG draws, so the
+        # feature matrix is unchanged
+        assert X.tobytes() == X_ref.tobytes()
+
+
+class TestStreamingAndExecutors:
+    def test_streaming_concat_matches_manual_batches(self, trained):
+        dataset, report = trained
+        pipeline = report.pipeline
+        rows = dataset.base_table
+        streamed = np.concatenate(
+            list(
+                pipeline.iter_predict(
+                    rows, repository=dataset.repository, batch_rows=37
+                )
+            )
+        )
+        via_predict = pipeline.predict(
+            rows, repository=dataset.repository, batch_rows=37
+        )
+        assert np.array_equal(streamed, via_predict)
+        assert streamed.shape == (rows.num_rows,)
+
+    def test_predictions_identical_across_executors(self, trained):
+        dataset, report = trained
+        pipeline = report.pipeline
+        rows = dataset.base_table
+        reference = pipeline.predict(rows, repository=dataset.repository)
+        for executor in ("thread", "process"):
+            predictions = pipeline.predict(
+                rows,
+                repository=dataset.repository,
+                executor=executor,
+                n_jobs=2,
+            )
+            assert np.array_equal(reference, predictions), executor
+
+
+# -- estimator state ----------------------------------------------------------
+
+
+class TestEstimatorState:
+    def test_forest_round_trip_bit_identical(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(150, 5))
+        y_clf = (X[:, 0] + X[:, 1] > 0).astype(float)
+        y_reg = X[:, 0] * 2.0 - X[:, 2]
+        for estimator, y in [
+            (RandomForestClassifier(n_estimators=4, random_state=1), y_clf),
+            (RandomForestRegressor(n_estimators=4, random_state=1), y_reg),
+            (DecisionTreeClassifier(max_depth=4, random_state=1), y_clf),
+        ]:
+            estimator.fit(X, y)
+            doc, arrays = estimator_to_state(estimator)
+            restored = estimator_from_state(doc, arrays)
+            assert np.array_equal(estimator.predict(X), restored.predict(X))
+            assert np.array_equal(
+                estimator.feature_importances_, restored.feature_importances_
+            )
+
+    def test_unfitted_estimator_rejected(self):
+        with pytest.raises(RuntimeError, match="unfitted"):
+            estimator_to_state(RandomForestRegressor())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown estimator kind"):
+            estimator_from_state({"kind": "quantum_forest"}, {})
+
+
+# -- classification decode ----------------------------------------------------
+
+
+class TestClassificationServing:
+    def test_categorical_target_predictions_decode_to_labels(self, tmp_path):
+        rng = np.random.default_rng(0)
+        n = 120
+        x = rng.normal(size=n)
+        base = Table.from_dict(
+            {
+                "entity_id": [float(i % 30) for i in range(n)],
+                "x": x,
+                "label": ["hi" if v > 0 else "lo" for v in x],
+            },
+            name="base",
+        )
+        repository = DataRepository(
+            [
+                Table.from_dict(
+                    {
+                        "entity_id": [float(i) for i in range(30)],
+                        "extra": list(rng.normal(size=30)),
+                    },
+                    name="aux",
+                )
+            ]
+        )
+        report = ARDA(ARDAConfig()).augment_tables(
+            base, repository, target="label"
+        )
+        pipeline = report.pipeline
+        assert pipeline.task == "classification"
+        path = tmp_path / "clf.pipeline"
+        pipeline.save(path)
+        loaded = FittedPipeline.load(path, repository=repository)
+        predictions = loaded.predict(base, repository=repository)
+        assert set(predictions) <= {"hi", "lo"}
+        assert np.array_equal(
+            predictions, pipeline.predict(base, repository=repository)
+        )
+
+
+# -- fresh process ------------------------------------------------------------
+
+
+class TestFreshProcess:
+    def test_fresh_process_load_reproduces_training_matrix(
+        self, trained, training_matrix, tmp_path
+    ):
+        dataset, report = trained
+        X_ref, _y = training_matrix
+        lake = tmp_path / "lake"
+        lake.mkdir()
+        for name in dataset.repository.table_names:
+            dataset.repository.get(name).save(lake / f"{name}.tbl")
+        artifact = tmp_path / "model.pipeline"
+        report.pipeline.save(artifact)
+        rows_path = tmp_path / "rows.tbl"
+        dataset.base_table.save(rows_path)
+        expected_path = tmp_path / "expected.npy"
+        np.save(expected_path, X_ref)
+        script = (
+            "import numpy as np\n"
+            "from repro.discovery.repository import DataRepository\n"
+            "from repro.relational.table import Table\n"
+            "from repro.serving import FittedPipeline\n"
+            f"pipeline = FittedPipeline.load({str(artifact)!r}, "
+            f"repository=DataRepository.open({str(lake)!r}))\n"
+            f"X = pipeline.transform(Table.load({str(rows_path)!r}))\n"
+            f"expected = np.load({str(expected_path)!r})\n"
+            "assert X.tobytes() == expected.tobytes(), 'fresh-process transform drifted'\n"
+            "print('fresh-process byte-identity ok')\n"
+        )
+        env = dict(os.environ, PYTHONPATH=SRC_DIR)
+        result = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True, text=True
+        )
+        assert result.returncode == 0, result.stderr
+        assert "byte-identity ok" in result.stdout
