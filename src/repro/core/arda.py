@@ -31,7 +31,7 @@ from repro.core.results import AugmentationReport, BatchReport
 from repro.datasets.bundle import AugmentationDataset
 from repro.discovery.candidates import JoinCandidate
 from repro.discovery.discovery import JoinDiscovery
-from repro.discovery.repository import DataRepository
+from repro.discovery.repository import DataRepository, RepositorySnapshot
 from repro.ml.automl import AutoMLSearch
 from repro.relational.encoding import encode_features_binned, to_design_matrix
 from repro.relational.imputation import impute_table
@@ -68,7 +68,7 @@ class ARDA:
     def augment_tables(
         self,
         base_table: Table,
-        repository: DataRepository | None,
+        repository: DataRepository | RepositorySnapshot | None,
         target: str,
         candidates: list[JoinCandidate] | None = None,
         task: str | None = None,
@@ -83,10 +83,23 @@ class ARDA:
         (``None``) when ``config.repository_dir`` names a directory of binary
         table files: the pipeline then opens it as a lazy disk-backed
         repository with ``config.lru_tables`` decoded tables kept alive.
+
+        With ``config.pin_snapshot`` on (the default), the whole run reads one
+        pinned manifest generation
+        (:meth:`~repro.discovery.repository.DataRepository.snapshot`): a
+        concurrent ``replace``/``remove`` on the repository can never hand
+        discovery one version of a table and the final materialisation
+        another.  Pass a :class:`~repro.discovery.repository.RepositorySnapshot`
+        directly to control the pinned generation yourself.
         """
         config = self.config
         start = time.perf_counter()
         repository = self._resolve_repository(repository)
+        if config.pin_snapshot and isinstance(repository, DataRepository):
+            # the pin is dropped when this snapshot goes out of scope at the
+            # end of the call (weakref-finalised), or — if a pipeline capture
+            # binds it — when the captured pipeline is dropped
+            repository = repository.snapshot()
         if target not in base_table:
             raise KeyError(f"target column {target!r} not found in base table")
         if task is None:
@@ -321,7 +334,9 @@ class ARDA:
 
     # -- helpers ----------------------------------------------------------------------
 
-    def _resolve_repository(self, repository: DataRepository | None) -> DataRepository:
+    def _resolve_repository(
+        self, repository: DataRepository | RepositorySnapshot | None
+    ) -> DataRepository | RepositorySnapshot:
         """Use the given repository, or open the configured disk-backed one.
 
         The opened repository is cached on this instance, so repeated
@@ -345,7 +360,7 @@ class ARDA:
     def _materialise_kept(
         self,
         base_table: Table,
-        repository: DataRepository,
+        repository: DataRepository | RepositorySnapshot,
         kept_specs: list[tuple[JoinCandidate, list[int], list[str]]],
         executor,
     ) -> Table:

@@ -79,6 +79,14 @@ class ARDAConfig:
         After running join discovery over a disk-backed repository, write the
         profile cache to the repository's sidecar so the next process skips
         profiling entirely.
+    pin_snapshot:
+        Pin one repository manifest generation
+        (:meth:`~repro.discovery.repository.DataRepository.snapshot`) for the
+        whole of ``augment_tables``, so discovery, joining and training all
+        read one consistent ``{table → fingerprint}`` view even while other
+        threads publish new generations.  Disable to read the live repository
+        (pre-snapshot behaviour; only sensible when nothing mutates it
+        concurrently).
     tree_method:
         Split kernel of every tree model the pipeline trains (RIFS' forest
         ranker, holdout estimators, the final estimator): ``"hist"``
@@ -124,6 +132,7 @@ class ARDAConfig:
     repository_dir: str | None = None
     lru_tables: int | None = 16
     persist_profiles: bool = True
+    pin_snapshot: bool = True
     tree_method: str | None = None
     max_bins: int = 255
     selection_n_jobs: int | None = None

@@ -16,10 +16,11 @@ from repro.discovery.candidates import JoinCandidate, KeyPair
 from repro.discovery.discovery import JoinDiscovery
 from repro.discovery.minhash import MinHashSignature, jaccard_estimate
 from repro.discovery.profiles import ColumnProfile, profile_column, profile_table
-from repro.discovery.repository import DataRepository, ProfileCache
+from repro.discovery.repository import DataRepository, ProfileCache, RepositorySnapshot
 
 __all__ = [
     "DataRepository",
+    "RepositorySnapshot",
     "ProfileCache",
     "JoinDiscovery",
     "JoinCandidate",

@@ -44,9 +44,13 @@ class ColumnProfile:
 
         The persisted profile cache stores these instead of pickled class
         instances so that renaming or moving the classes never invalidates an
-        on-disk cache that a version check would otherwise accept.
+        on-disk cache that a version check would otherwise accept.  A ``"v"``
+        field versions the state layout itself: :meth:`from_state` rejects
+        states written by a newer, incompatible layout instead of
+        misinterpreting them.
         """
         return {
+            "v": 1,
             "table_name": self.table_name,
             "column_name": self.column_name,
             "ctype": self.ctype.value,
@@ -60,7 +64,18 @@ class ColumnProfile:
 
     @classmethod
     def from_state(cls, state: dict) -> "ColumnProfile":
-        """Inverse of :meth:`to_state`."""
+        """Inverse of :meth:`to_state`.
+
+        Accepts version-1 states (states written before the ``"v"`` field
+        existed are version 1 by definition); raises ``ValueError`` on states
+        from a newer layout.
+        """
+        version = state.get("v", 1)
+        if version != 1:
+            raise ValueError(
+                f"unsupported ColumnProfile state version {version!r} "
+                f"(this build reads version 1)"
+            )
         minhash = state["minhash"]
         return cls(
             table_name=state["table_name"],

@@ -10,6 +10,31 @@ and materialises tables lazily on first :meth:`get`, memory-mapped so even a
 tables are kept alive in a small LRU so hot candidates stay warm while a
 100-table repository never holds 100 decoded tables.
 
+Concurrency model (snapshot isolation)
+--------------------------------------
+
+Mutations (:meth:`add` / :meth:`replace` / :meth:`remove`) are safe to call
+from multiple threads of one process while other threads read.  Each mutation:
+
+1. **stages** the table file under a content-addressed name
+   (``<name>-<fingerprint16>.tbl``), so two concurrent writers never rewrite
+   each other's bytes in place;
+2. **publishes** the next catalog as a new manifest generation — one atomic
+   ``os.replace`` of the ``_manifest.arda`` file plus one atomic swap of the
+   in-process catalog reference, both under the writer lock.  Every mutation
+   returns the generation it published.
+
+Readers call :meth:`DataRepository.snapshot` to pin one generation: the
+returned :class:`RepositorySnapshot` resolves every ``get()`` / ``header()``
+against that frozen catalog, so a multi-table read never observes half of a
+concurrent publish.  Files that fall out of the current catalog are
+garbage-collected by reference count: a superseded table file is deleted only
+once no live snapshot references it (release a snapshot explicitly, via the
+context-manager protocol, or just drop it — a ``weakref.finalize`` hook
+releases abandoned snapshots).  Cross-*process* writers are not coordinated:
+one process owns the writes to a directory, any number of processes may open
+read snapshots of it.
+
 The :class:`ProfileCache` rides along: besides the identity-validated
 in-memory entries it has always had, entries can now be validated by a
 table's *content fingerprint* (stored in every table file header) and
@@ -20,8 +45,10 @@ table body.
 
 from __future__ import annotations
 
+import itertools
 import pickle
 import threading
+import weakref
 from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
@@ -29,16 +56,22 @@ from typing import Callable, Iterable, Iterator
 from repro.discovery.profiles import ColumnProfile, profile_table
 from repro.relational.io import read_csv
 from repro.relational.persist import (
+    ManifestEntry,
+    RepositoryManifest,
+    TableFormatError,
     TableHeader,
     atomic_replace,
+    read_manifest,
     read_table,
     read_table_header,
     table_fingerprint,
+    write_manifest,
     write_table,
 )
 from repro.relational.table import Table
 
 TABLE_SUFFIX = ".tbl"
+MANIFEST_NAME = "_manifest.arda"
 PROFILE_SIDECAR = "_profiles.cache"
 _SIDECAR_FORMAT = "arda-profile-cache"
 _SIDECAR_VERSION = 1
@@ -84,6 +117,8 @@ class ProfileCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        # generation stamp of the last sidecar loaded (informational)
+        self.sidecar_generation: int | None = None
 
     def __getstate__(self):
         state = self.__dict__.copy()
@@ -92,6 +127,7 @@ class ProfileCache:
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        self.__dict__.setdefault("sidecar_generation", None)
         self._lock = threading.Lock()
 
     def get_or_profile(self, table: Table, num_hashes: int = 64) -> dict[str, ColumnProfile]:
@@ -135,6 +171,14 @@ class ProfileCache:
         This is the disk-backed repository's path: on a hit the table body is
         never read — the catalog header supplies the fingerprint and the
         profiles come straight from the cache.
+
+        On a miss, the loaded table is re-fingerprinted before the profiles
+        are stored: if a concurrent ``replace`` republished the table between
+        the caller reading its catalog entry and ``loader()`` reading the
+        body, the profiles describe the *new* content and are cached under
+        its actual fingerprint — never under the requested one.  Without this
+        check the window would poison the cache (and any sidecar it is saved
+        to) with wrong profiles for the old fingerprint.
         """
         key = (name, num_hashes)
         with self._lock:
@@ -143,10 +187,11 @@ class ProfileCache:
                 self.hits += 1
                 return entry[2]
             self.misses += 1
-        profiles = profile_table(loader(), num_hashes=num_hashes)
+        table = loader()
+        actual = table_fingerprint(table)
+        profiles = profile_table(table, num_hashes=num_hashes)
         with self._lock:
-            # no table reference: the LRU owns decoded-table lifetime
-            self._entries[key] = (None, fingerprint, profiles)
+            self._entries[key] = (None, actual, profiles)
         return profiles
 
     def invalidate(self, table_name: str | None = None) -> int:
@@ -181,13 +226,17 @@ class ProfileCache:
 
     # -- sidecar persistence ---------------------------------------------------
 
-    def save(self, path: str | Path) -> int:
+    def save(self, path: str | Path, generation: int | None = None) -> int:
         """Persist all entries to a sidecar file; returns entries written.
 
         Identity-validated entries are fingerprinted on the way out (one pass
         over the table bytes) so they can be re-validated by a future process
         that holds different objects.  The write is atomic (uniquely-named
         temp file + ``os.replace``, so concurrent savers never interleave).
+        ``generation`` optionally stamps the sidecar with the repository
+        manifest generation it was saved at, for debugging stale caches —
+        correctness never depends on it (every entry is fingerprint-validated
+        on load and lookup).
         """
         path = Path(path)
         with self._lock:
@@ -211,6 +260,7 @@ class ProfileCache:
         payload = {
             "format": _SIDECAR_FORMAT,
             "version": _SIDECAR_VERSION,
+            "generation": generation,
             "entries": records,
         }
         atomic_replace(
@@ -239,6 +289,7 @@ class ProfileCache:
             )
         loaded = 0
         with self._lock:
+            self.sidecar_generation = payload.get("generation")
             for record in payload["entries"]:
                 key = (record["table"], record["num_hashes"])
                 profiles = {
@@ -281,6 +332,218 @@ class _CatalogEntry:
         self.header = header
 
 
+def _unlink_quietly(path: Path) -> bool:
+    try:
+        path.unlink(missing_ok=True)
+    except OSError:
+        return False
+    return True
+
+
+class RepositorySnapshot:
+    """A frozen, read-only view of one repository manifest generation.
+
+    Produced by :meth:`DataRepository.snapshot`.  All reads — :meth:`get`,
+    :meth:`header`, :meth:`schema`, :meth:`profiles`, :attr:`table_names` —
+    resolve against the catalog as it stood at :attr:`generation`, no matter
+    what concurrent writers publish afterwards: the snapshot's table files
+    are pinned against garbage collection until the snapshot is released,
+    and an already-mapped file keeps serving its old bytes even after the
+    name is republished (``os.replace`` / ``unlink`` keep the old inode alive
+    for existing maps).
+
+    Release a snapshot when done — explicitly (:meth:`release`), as a context
+    manager, or implicitly by dropping the last reference (a
+    ``weakref.finalize`` hook releases it, including at interpreter exit) —
+    so superseded files can be reclaimed.  Reading from an explicitly
+    released snapshot raises ``RuntimeError``.
+
+    The snapshot exposes the full read API of :class:`DataRepository`
+    (``get`` / ``header`` / ``schema`` / ``profiles`` / ``table_names`` /
+    ``in`` / ``len`` / iteration / ``is_disk_backed`` / ``save_profiles``),
+    so pipeline code written against a repository can run unchanged against
+    a pinned generation.
+    """
+
+    def __init__(
+        self,
+        repository: "DataRepository",
+        generation: int,
+        catalog: dict[str, _CatalogEntry],
+        tables: dict[str, Table],
+        token: int,
+    ):
+        self._repository = repository
+        self._generation = generation
+        self._catalog = catalog
+        self._tables = tables
+        self._token = token
+        self._loaded: dict[str, Table] = {}
+        self._local_lock = threading.Lock()
+        # releases the pinned files if the snapshot is dropped without an
+        # explicit release() (including at interpreter exit)
+        self._finalizer = weakref.finalize(
+            self, repository._release_snapshot, token
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The manifest generation this snapshot pins."""
+        return self._generation
+
+    @property
+    def repository(self) -> "DataRepository":
+        """The repository this snapshot was taken from."""
+        return self._repository
+
+    @property
+    def released(self) -> bool:
+        """Whether the snapshot has been released (files no longer pinned)."""
+        return not self._finalizer.alive
+
+    def release(self) -> None:
+        """Release the snapshot's pin on its table files (idempotent).
+
+        Any file superseded since the snapshot was taken becomes eligible for
+        garbage collection once the last snapshot referencing it is released.
+        """
+        self._finalizer()
+
+    def __enter__(self) -> "RepositorySnapshot":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False
+
+    def _check_live(self) -> None:
+        if not self._finalizer.alive:
+            raise RuntimeError(
+                f"snapshot of generation {self._generation} has been released; "
+                f"its files may already be garbage-collected"
+            )
+
+    # -- read API ----------------------------------------------------------------
+
+    @property
+    def is_disk_backed(self) -> bool:
+        """Whether the underlying repository writes through to a directory."""
+        return self._repository.is_disk_backed
+
+    @property
+    def table_names(self) -> list[str]:
+        """Names of all tables in this generation."""
+        return list(self._catalog) + [n for n in self._tables if n not in self._catalog]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._catalog or name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._catalog) + sum(1 for n in self._tables if n not in self._catalog)
+
+    def __iter__(self) -> Iterator[Table]:
+        for name in self.table_names:
+            yield self.get(name)
+
+    def header(self, name: str) -> TableHeader:
+        """The pinned catalog header of a disk-backed table."""
+        entry = self._catalog.get(name)
+        if entry is None:
+            raise KeyError(
+                f"no disk-backed table named {name!r} in snapshot generation "
+                f"{self._generation}; catalogued: {list(self._catalog)}"
+            )
+        return entry.header
+
+    def schema(self, name: str):
+        """The schema of a table, served without loading when disk-backed."""
+        entry = self._catalog.get(name)
+        if entry is not None and name not in self._tables:
+            return entry.header.schema()
+        return self.get(name).schema()
+
+    def fingerprints(self) -> dict[str, str]:
+        """``{table name → content fingerprint}`` of this generation.
+
+        Disk-backed tables are served from their pinned catalog headers
+        (no body read); in-memory tables are fingerprinted on demand.
+        """
+        out: dict[str, str] = {}
+        for name in self.table_names:
+            entry = self._catalog.get(name)
+            if entry is not None and name not in self._tables:
+                out[name] = entry.header.fingerprint
+            else:
+                out[name] = table_fingerprint(self._tables[name])
+        return out
+
+    def get(self, name: str) -> Table:
+        """Look up a table in the pinned generation, materialising it lazily."""
+        self._check_live()
+        table = self._tables.get(name)
+        if table is not None:
+            return table
+        with self._local_lock:
+            table = self._loaded.get(name)
+        if table is not None:
+            return table
+        entry = self._catalog.get(name)
+        if entry is None:
+            raise KeyError(
+                f"no table named {name!r} in snapshot generation "
+                f"{self._generation}; available: {self.table_names}"
+            )
+        owner = self._repository
+        # reuse the owner's LRU when the live catalog still holds this exact
+        # entry (same generation of the table), so repeated snapshots of a
+        # quiet repository decode each table once
+        table = None
+        if owner._catalog.get(name) is entry:
+            with owner._lru_lock:
+                cached = owner._loaded.get(name)
+                if cached is not None and cached[0] == entry.header.fingerprint:
+                    owner._loaded.move_to_end(name)
+                    table = cached[1]
+        if table is None:
+            table = read_table(entry.path, mmap=owner._mmap)
+            if not table.name:
+                table = table.rename(name)
+        with self._local_lock:
+            self._loaded[name] = table
+        return table
+
+    def profiles(self, name: str, num_hashes: int = 64) -> dict[str, ColumnProfile]:
+        """Column profiles of one pinned table, via the owner's profile cache.
+
+        Keyed by the pinned fingerprint, so a profile computed for this
+        generation is never confused with one of a later republication.
+        """
+        entry = self._catalog.get(name)
+        if entry is not None and name not in self._tables:
+            return self._repository.profile_cache.get_or_profile_keyed(
+                name,
+                entry.header.fingerprint,
+                loader=lambda: self.get(name),
+                num_hashes=num_hashes,
+            )
+        return self._repository.profile_cache.get_or_profile(
+            self.get(name), num_hashes=num_hashes
+        )
+
+    def save_profiles(self, path: str | Path | None = None) -> Path:
+        """Persist the owner repository's profile cache (see repository docs)."""
+        return self._repository.save_profiles(path)
+
+    def __repr__(self) -> str:
+        state = "released" if self.released else "live"
+        return (
+            f"RepositorySnapshot(generation={self._generation}, "
+            f"tables={len(self)}, {state})"
+        )
+
+
 class DataRepository:
     """A collection of candidate tables keyed by name.
 
@@ -295,10 +558,16 @@ class DataRepository:
     * **disk-backed** — :meth:`open` catalogs a directory of ``.tbl`` files by
       reading only their headers, then loads tables lazily (memory-mapped) on
       first access with an LRU keep-alive of decoded tables.  :meth:`add`,
-      :meth:`replace` and :meth:`remove` write through to the directory, and
-      the profile cache can be persisted next to the tables
-      (:meth:`save_profiles`), so a fresh process serves discovery profiles
-      without reading any table body.
+      :meth:`replace` and :meth:`remove` stage content-addressed table files
+      and publish manifest generations (see the module docstring for the
+      snapshot-isolation protocol), and the profile cache can be persisted
+      next to the tables (:meth:`save_profiles`), so a fresh process serves
+      discovery profiles without reading any table body.
+
+    Every mutation returns the manifest generation it published (in-memory
+    repositories keep the same counter, so the snapshot machinery and the
+    snapshot-isolation checker work against both modes).  Readers that need a
+    consistent multi-table view take :meth:`snapshot`.
 
     Every repository owns a :class:`ProfileCache` so that discovery profiles
     (distinct counts, ranges, MinHash signatures) are computed once per table
@@ -309,13 +578,36 @@ class DataRepository:
     def __init__(self, tables: Iterable[Table] = (), profile_cache: ProfileCache | None = None):
         self._tables: dict[str, Table] = {}
         self._catalog: dict[str, _CatalogEntry] = {}
-        self._loaded: OrderedDict[str, Table] = OrderedDict()
+        # name -> (content fingerprint at load time, decoded table)
+        self._loaded: OrderedDict[str, tuple[str, Table]] = OrderedDict()
         self._directory: Path | None = None
+        self._manifest_path: Path | None = None
         self._lru_tables: int | None = None
         self._mmap = True
+        self._generation = 0
+        self._write_lock = threading.RLock()
+        self._lru_lock = threading.Lock()
+        self._snapshot_tokens = itertools.count()
+        self._snapshot_files: dict[int, frozenset[Path]] = {}
+        self._pending_gc: set[Path] = set()
         self.profile_cache = profile_cache if profile_cache is not None else ProfileCache()
         for table in tables:
             self.add(table)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for key in ("_write_lock", "_lru_lock", "_snapshot_tokens"):
+            state.pop(key, None)
+        # live snapshots are process-local pins; they do not travel
+        state["_snapshot_files"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._write_lock = threading.RLock()
+        self._lru_lock = threading.Lock()
+        self._snapshot_tokens = itertools.count()
+        self._snapshot_files = {}
 
     # -- disk backing ----------------------------------------------------------
 
@@ -329,6 +621,22 @@ class DataRepository:
         load_profiles: bool = True,
     ) -> "DataRepository":
         """Open a directory of binary table files as a lazy repository.
+
+        With a ``_manifest.arda`` present the catalog comes from the last
+        committed manifest generation (headers of the referenced files are
+        read for schemas; the files' own headers are authoritative).  Without
+        one — a directory never mutated through this class — every readable
+        ``.tbl`` file is adopted at generation 0 and the first mutation
+        publishes generation 1.
+
+        Opening also sweeps crash debris: ``*.tmp`` files (a writer killed
+        between its temp write and the ``os.replace``), staged-but-never-
+        published table files, and superseded old-generation files that a
+        dying process left behind are removed.  ``.tbl`` files that are
+        neither referenced nor marked as staged are adopted when their table
+        name is free, and left untouched otherwise.  Do not open a directory
+        for writing from a process that is concurrently writing it elsewhere
+        (single-writer-process model; see the module docstring).
 
         Builds the catalog from file headers only (names, schemas, row
         counts, fingerprints); no table body is read until :meth:`get`.
@@ -346,15 +654,58 @@ class DataRepository:
         repository._directory = directory
         repository._lru_tables = lru_tables
         repository._mmap = mmap
+        repository._manifest_path = directory / MANIFEST_NAME
+
+        # crash debris from a writer killed between its temp-file write and
+        # the os.replace: never part of any committed generation
+        for debris in directory.glob("*.tmp"):
+            _unlink_quietly(debris)
+
+        catalog: dict[str, _CatalogEntry] = {}
+        manifest: RepositoryManifest | None = None
+        if repository._manifest_path.exists():
+            manifest = read_manifest(repository._manifest_path)
+            for name in sorted(manifest.tables):
+                entry = manifest.tables[name]
+                path = directory / entry.file
+                if not path.exists():
+                    raise TableFormatError(
+                        f"{repository._manifest_path}: generation "
+                        f"{manifest.generation} references missing table file "
+                        f"{entry.file!r}"
+                    )
+                catalog[name] = _CatalogEntry(path, read_table_header(path))
+            repository._generation = manifest.generation
+
+        referenced = {entry.path for entry in catalog.values()}
         for path in sorted(directory.glob(f"*{TABLE_SUFFIX}")):
-            header = read_table_header(path)
+            if path in referenced:
+                continue
+            try:
+                header = read_table_header(path)
+            except (TableFormatError, OSError):
+                continue  # unreadable file: not ours to delete or adopt
             name = header.name or path.stem
-            if name in repository._catalog:
-                raise ValueError(
-                    f"duplicate table name {name!r} in {directory} "
-                    f"({path.name} vs {repository._catalog[name].path.name})"
-                )
-            repository._catalog[name] = _CatalogEntry(path, header)
+            staged = bool((header.meta or {}).get("staged"))
+            if staged:
+                # ours, but not part of the committed generation: either a
+                # mutation that crashed before publishing, or a superseded
+                # file whose GC was cut short — reclaim either way
+                _unlink_quietly(path)
+            elif name in catalog:
+                if manifest is None:
+                    raise ValueError(
+                        f"duplicate table name {name!r} in {directory} "
+                        f"({path.name} vs {catalog[name].path.name})"
+                    )
+                # an external file colliding with a manifest-managed name:
+                # the committed generation wins; external in-place updates
+                # to managed names must go through replace()
+                continue
+            else:
+                catalog[name] = _CatalogEntry(path, header)
+
+        repository._catalog = catalog
         if load_profiles:
             sidecar = directory / PROFILE_SIDECAR
             if sidecar.exists():
@@ -385,9 +736,20 @@ class DataRepository:
         return self._directory
 
     @property
+    def generation(self) -> int:
+        """The current manifest generation (0 until the first mutation)."""
+        return self._generation
+
+    @property
+    def live_snapshots(self) -> int:
+        """How many unreleased snapshots currently pin table files."""
+        return len(self._snapshot_files)
+
+    @property
     def cached_tables(self) -> list[str]:
         """Names of disk-backed tables currently decoded in the LRU."""
-        return list(self._loaded)
+        with self._lru_lock:
+            return list(self._loaded)
 
     def header(self, name: str) -> TableHeader:
         """The catalog header of a disk-backed table (schema without loading)."""
@@ -409,107 +771,256 @@ class DataRepository:
         """Persist the profile cache to a sidecar next to the tables.
 
         ``path`` defaults to ``<directory>/_profiles.cache`` for disk-backed
-        repositories; in-memory repositories must pass an explicit path.
+        repositories; in-memory repositories must pass an explicit path.  The
+        sidecar is stamped with the current manifest generation.
         """
         if path is None:
             if self._directory is None:
                 raise ValueError("in-memory repository: save_profiles needs an explicit path")
             path = self._directory / PROFILE_SIDECAR
         path = Path(path)
-        self.profile_cache.save(path)
+        self.profile_cache.save(path, generation=self._generation)
         return path
 
-    def _store_loaded(self, name: str, table: Table) -> None:
-        self._loaded[name] = table
+    def _store_loaded(self, name: str, fingerprint: str, table: Table) -> None:
+        # caller holds _lru_lock
+        self._loaded[name] = (fingerprint, table)
         self._loaded.move_to_end(name)
         if self._lru_tables is not None:
             while len(self._loaded) > self._lru_tables:
                 self._loaded.popitem(last=False)
 
+    # -- snapshots and garbage collection ----------------------------------------
+
+    def snapshot(self) -> RepositorySnapshot:
+        """Pin the current generation as a consistent read-only view.
+
+        The returned :class:`RepositorySnapshot` resolves all reads against
+        the catalog as of this call; concurrent ``add``/``replace``/``remove``
+        publish new generations without disturbing it, and files it references
+        are protected from garbage collection until it is released.
+        """
+        with self._write_lock:
+            token = next(self._snapshot_tokens)
+            catalog = self._catalog  # publishes swap the reference, never mutate
+            tables = dict(self._tables)
+            self._snapshot_files[token] = frozenset(
+                entry.path for entry in catalog.values()
+            )
+            generation = self._generation
+        return RepositorySnapshot(self, generation, catalog, tables, token)
+
+    def _release_snapshot(self, token: int) -> None:
+        with self._write_lock:
+            if self._snapshot_files.pop(token, None) is not None:
+                self._collect_garbage()
+
+    def _collect_garbage(self) -> int:
+        """Reclaim superseded table files not pinned by any live snapshot.
+
+        Caller holds ``_write_lock``.  Files are only ever deleted here (and
+        in the crash-debris sweep of :meth:`open`): a path stays in the
+        pending set for as long as any live snapshot references it.  Returns
+        the number of files reclaimed.
+        """
+        if not self._pending_gc:
+            return 0
+        referenced = {entry.path for entry in self._catalog.values()}
+        for files in self._snapshot_files.values():
+            referenced |= files
+        reclaimed = 0
+        for path in list(self._pending_gc):
+            if path in referenced:
+                continue
+            if _unlink_quietly(path):
+                self._pending_gc.discard(path)
+                reclaimed += 1
+        return reclaimed
+
+    def _stage_table(self, table: Table, meta: dict | None = None) -> _CatalogEntry:
+        """Write ``table`` under its content-addressed staging name.
+
+        The name embeds the content fingerprint, so concurrent writers of the
+        same table name never rewrite each other's bytes (identical content
+        maps to the identical file, which both write byte-identically).  The
+        header carries a ``staged`` mark so :meth:`open` can tell uncommitted
+        debris from externally ingested files.  Fingerprinting costs one
+        extra pass over the table bytes before serialisation.
+        """
+        fingerprint = table_fingerprint(table)
+        path = self._directory / f"{table.name}-{fingerprint[:16]}{TABLE_SUFFIX}"
+        header = write_table(table, path, meta={"staged": True, **(meta or {})})
+        return _CatalogEntry(path, header)
+
+    def _publish(self, new_catalog: dict[str, _CatalogEntry]) -> int:
+        """Commit ``new_catalog`` as the next manifest generation.
+
+        Caller holds ``_write_lock``.  Writes the manifest atomically, swaps
+        the in-process catalog reference (readers see either the old or the
+        new dict, never a mix), queues superseded files for reference-counted
+        garbage collection, and returns the published generation.
+        """
+        generation = self._generation + 1
+        if self._manifest_path is not None:
+            write_manifest(
+                self._manifest_path,
+                RepositoryManifest(
+                    generation=generation,
+                    tables={
+                        name: ManifestEntry(
+                            file=entry.path.name,
+                            fingerprint=entry.header.fingerprint,
+                            num_rows=entry.header.num_rows,
+                        )
+                        for name, entry in new_catalog.items()
+                    },
+                ),
+            )
+        old_catalog = self._catalog
+        self._catalog = new_catalog
+        self._generation = generation
+        kept = {entry.path for entry in new_catalog.values()}
+        for entry in old_catalog.values():
+            if entry.path not in kept:
+                self._pending_gc.add(entry.path)
+        self._collect_garbage()
+        return generation
+
     # -- mutation --------------------------------------------------------------
 
-    def add(self, table: Table) -> None:
+    def add(self, table: Table, meta: dict | None = None) -> int:
         """Register a table; its ``name`` must be unique and non-empty.
 
-        In a disk-backed repository the table is also written to
-        ``<directory>/<name>.tbl`` (atomically) and catalogued.
+        In a disk-backed repository the table is staged under a
+        content-addressed file name and published as the next manifest
+        generation.  ``meta`` (optional, disk-backed only) is stored in the
+        table file header, e.g. ingestion provenance.  Returns the published
+        generation.
         """
         if not table.name:
             raise ValueError("repository tables must have a non-empty name")
-        if table.name in self._tables or table.name in self._catalog:
-            raise ValueError(f"a table named {table.name!r} is already registered")
+        name = table.name
         if self._directory is not None:
-            path = self._directory / f"{table.name}{TABLE_SUFFIX}"
-            header = write_table(table, path)
-            self._catalog[table.name] = _CatalogEntry(path, header)
-            self._store_loaded(table.name, table)
-        else:
-            self._tables[table.name] = table
+            if name in self._tables or name in self._catalog:
+                raise ValueError(f"a table named {name!r} is already registered")
+            entry = self._stage_table(table, meta)
+            with self._write_lock:
+                existing = self._catalog.get(name)
+                if existing is not None:
+                    # lost the race to a concurrent add; drop our staged file
+                    # unless the winner staged identical content (same path)
+                    if entry.path != existing.path:
+                        self._pending_gc.add(entry.path)
+                        self._collect_garbage()
+                    raise ValueError(f"a table named {name!r} is already registered")
+                new_catalog = dict(self._catalog)
+                new_catalog[name] = entry
+                generation = self._publish(new_catalog)
+            with self._lru_lock:
+                self._store_loaded(name, entry.header.fingerprint, table)
+            return generation
+        with self._write_lock:
+            if name in self._tables or name in self._catalog:
+                raise ValueError(f"a table named {name!r} is already registered")
+            self._tables[name] = table
+            self._generation += 1
+            return self._generation
 
-    def replace(self, table: Table) -> None:
+    def replace(self, table: Table, meta: dict | None = None) -> int:
         """Register or overwrite a table, invalidating any cached profiles.
 
-        Disk-backed: the file is rewritten atomically (``os.replace``), so a
-        previously loaded memory-mapped table keeps reading the old bytes —
-        the old inode stays alive until its last mapping is dropped.
+        Disk-backed: the new content is staged under a fresh content-addressed
+        file and published as the next manifest generation; the superseded
+        file is garbage-collected once no live snapshot references it, so
+        snapshots taken before the replace (and previously loaded
+        memory-mapped tables) keep reading the old bytes.  Returns the
+        published generation.
         """
         if not table.name:
             raise ValueError("repository tables must have a non-empty name")
+        name = table.name
         if self._directory is not None:
-            # overwrite the catalogued file in place: a table whose file stem
-            # differs from its name must not leave a duplicate-named sibling
-            existing = self._catalog.get(table.name)
-            path = (
-                existing.path
-                if existing is not None
-                else self._directory / f"{table.name}{TABLE_SUFFIX}"
-            )
-            header = write_table(table, path)
-            self._catalog[table.name] = _CatalogEntry(path, header)
-            self._loaded.pop(table.name, None)
-            self._store_loaded(table.name, table)
+            entry = self._stage_table(table, meta)
+            with self._write_lock:
+                new_catalog = dict(self._catalog)
+                new_catalog[name] = entry
+                generation = self._publish(new_catalog)
+            with self._lru_lock:
+                self._loaded.pop(name, None)
+                self._store_loaded(name, entry.header.fingerprint, table)
         else:
-            self._tables[table.name] = table
-        self.profile_cache.invalidate(table.name)
+            with self._write_lock:
+                self._tables[name] = table
+                self._generation += 1
+                generation = self._generation
+        self.profile_cache.invalidate(name)
+        return generation
 
-    def remove(self, name: str) -> None:
+    def remove(self, name: str) -> int:
         """Unregister a table, invalidating any cached profiles.
 
-        Disk-backed: the backing file is deleted (mutations write through
-        both ways, so a reopened repository sees the same contents).
+        Disk-backed: the next manifest generation omits the table; its file
+        is garbage-collected once no live snapshot references it (a reopened
+        repository sees the same contents either way).  Returns the published
+        generation.
         """
-        if name in self._tables:
-            del self._tables[name]
-        elif name in self._catalog:
-            entry = self._catalog.pop(name)
-            self._loaded.pop(name, None)
-            entry.path.unlink(missing_ok=True)
-        else:
-            raise KeyError(
-                f"no table named {name!r} in repository; available: {self.table_names}"
-            )
+        with self._write_lock:
+            if name in self._tables:
+                del self._tables[name]
+                self._generation += 1
+                generation = self._generation
+            elif name in self._catalog:
+                new_catalog = dict(self._catalog)
+                del new_catalog[name]
+                generation = self._publish(new_catalog)
+                with self._lru_lock:
+                    self._loaded.pop(name, None)
+            else:
+                raise KeyError(
+                    f"no table named {name!r} in repository; available: {self.table_names}"
+                )
         self.profile_cache.invalidate(name)
+        return generation
 
     # -- access ----------------------------------------------------------------
 
     def get(self, name: str) -> Table:
-        """Look up a table by name, materialising a disk-backed one lazily."""
+        """Look up a table by name, materialising a disk-backed one lazily.
+
+        Concurrent-safe: the LRU entry records the fingerprint it was decoded
+        from, so a ``get`` racing a ``replace`` can never park stale content
+        under the new catalog entry, and a file reclaimed mid-read is retried
+        against the republished generation.
+        """
         table = self._tables.get(name)
         if table is not None:
             return table
-        table = self._loaded.get(name)
-        if table is not None:
-            self._loaded.move_to_end(name)
-            return table
-        entry = self._catalog.get(name)
-        if entry is None:
-            raise KeyError(
-                f"no table named {name!r} in repository; available: {self.table_names}"
-            )
-        table = read_table(entry.path, mmap=self._mmap)
+        while True:
+            entry = self._catalog.get(name)
+            if entry is None:
+                raise KeyError(
+                    f"no table named {name!r} in repository; available: {self.table_names}"
+                )
+            fingerprint = entry.header.fingerprint
+            with self._lru_lock:
+                cached = self._loaded.get(name)
+                if cached is not None and cached[0] == fingerprint:
+                    self._loaded.move_to_end(name)
+                    return cached[1]
+            try:
+                table = read_table(entry.path, mmap=self._mmap)
+            except FileNotFoundError:
+                # the table was republished (and its old file reclaimed)
+                # between the catalog read and the open: retry against the
+                # new generation, unless the file is genuinely gone
+                if self._catalog.get(name) is entry:
+                    raise
+                continue
+            break
         if not table.name:
             table = table.rename(name)
-        self._store_loaded(name, table)
+        with self._lru_lock:
+            self._store_loaded(name, fingerprint, table)
         return table
 
     def profiles(self, name: str, num_hashes: int = 64) -> dict[str, ColumnProfile]:
@@ -557,11 +1068,12 @@ class DataRepository:
 
         Without ``ingest`` this decodes every CSV into memory (the original
         behaviour).  With ``ingest`` set to a directory, each CSV is converted
-        **once** to the native binary format (skipped when an up-to-date
-        ``.tbl`` already exists) and the result is opened as a lazy
-        disk-backed repository — the CSV parse cost is paid on the first run
-        only.  The ingest directory mirrors the CSV directory for *ingested*
-        tables: a ``.tbl`` whose header carries the CSV-ingest provenance mark
+        **once** through the manifest-publishing write path (skipped when the
+        catalogued table already carries the CSV's ``st_mtime_ns`` in its
+        ingest provenance) and the result is returned as a lazy disk-backed
+        repository — the CSV parse cost is paid on the first run only.  The
+        ingest directory mirrors the CSV directory for *ingested* tables: a
+        catalogued table whose header carries the CSV-ingest provenance mark
         but whose source CSV has disappeared is removed.  Tables persisted
         into the same directory by other means (``add``/``replace``/``save``)
         carry no mark and are never touched.
@@ -574,23 +1086,29 @@ class DataRepository:
             return repository
         ingest_dir = Path(ingest)
         ingest_dir.mkdir(parents=True, exist_ok=True)
+        repository = cls.open(ingest_dir, lru_tables=lru_tables, mmap=mmap)
         stems = set()
         for path in sorted(directory.glob("*.csv")):
             stems.add(path.stem)
-            out_path = ingest_dir / f"{path.stem}{TABLE_SUFFIX}"
-            # <= so a CSV rewritten within one mtime tick of its previous
-            # ingest (coarse-granularity filesystems) is never served stale
-            if not out_path.exists() or out_path.stat().st_mtime <= path.stat().st_mtime:
-                write_table(
-                    read_csv(path, name=path.stem), out_path, meta={"source": "csv-ingest"}
-                )
-        for orphan in ingest_dir.glob(f"*{TABLE_SUFFIX}"):
-            if orphan.stem in stems:
+            mtime_ns = path.stat().st_mtime_ns
+            entry = repository._catalog.get(path.stem)
+            if entry is not None:
+                provenance = entry.header.meta or {}
+                if (
+                    provenance.get("source") == "csv-ingest"
+                    and provenance.get("src_mtime_ns") == mtime_ns
+                ):
+                    continue  # up to date: same CSV file version already ingested
+            meta = {"source": "csv-ingest", "src_mtime_ns": mtime_ns}
+            table = read_csv(path, name=path.stem)
+            if path.stem in repository:
+                repository.replace(table, meta=meta)
+            else:
+                repository.add(table, meta=meta)
+        for name in list(repository._catalog):
+            if name in stems:
                 continue
-            try:
-                provenance = (read_table_header(orphan).meta or {}).get("source")
-            except Exception:
-                continue  # unreadable file: not ours to delete
+            provenance = (repository._catalog[name].header.meta or {}).get("source")
             if provenance == "csv-ingest":
-                orphan.unlink()
-        return cls.open(ingest_dir, lru_tables=lru_tables, mmap=mmap)
+                repository.remove(name)
+        return repository

@@ -43,11 +43,16 @@ from repro.relational.encoding import (
 )
 from repro.relational.io import read_csv, write_csv
 from repro.relational.persist import (
+    ManifestEntry,
+    ManifestFormatError,
+    RepositoryManifest,
     TableFormatError,
     TableHeader,
+    read_manifest,
     read_table,
     read_table_header,
     table_fingerprint,
+    write_manifest,
     write_table,
 )
 
@@ -80,4 +85,9 @@ __all__ = [
     "table_fingerprint",
     "TableHeader",
     "TableFormatError",
+    "read_manifest",
+    "write_manifest",
+    "RepositoryManifest",
+    "ManifestEntry",
+    "ManifestFormatError",
 ]

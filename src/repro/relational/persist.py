@@ -24,6 +24,14 @@ counter (:func:`bytes_read` / :func:`reset_bytes_read`); memory-mapped pages
 count as zero until the benchmark or caller actually faults them in, which is
 what lets ``bench_persistence.py`` verify that opening a repository reads only
 headers.
+
+Besides single tables, the module defines the **repository manifest**: a
+small versioned catalog file (:class:`RepositoryManifest`, published with
+:func:`write_manifest` / read with :func:`read_manifest`) mapping table names
+to ``{file, content fingerprint}`` under a monotonically increasing
+generation number.  The manifest is what gives
+:class:`~repro.discovery.repository.DataRepository` snapshot-isolated
+concurrent reads and writes — see that module for the protocol.
 """
 
 from __future__ import annotations
@@ -92,6 +100,10 @@ def atomic_replace(path: Path, write_to) -> None:
 
 class TableFormatError(ValueError):
     """A table file is not readable: bad magic, wrong version or truncated."""
+
+
+class ManifestFormatError(TableFormatError):
+    """A repository manifest is not readable: bad magic, version or payload."""
 
 
 @dataclass
@@ -280,6 +292,124 @@ def _meta_from_doc(doc: dict) -> ColumnMeta:
         meta.dict_count = count
         meta.dict_exact = bool(doc.get("dict_exact", False))
     return meta
+
+
+# -- repository manifest ------------------------------------------------------
+
+MANIFEST_MAGIC = b"RPROMANF"
+MANIFEST_VERSION = 1
+_MANIFEST_PREFIX_LEN = len(MANIFEST_MAGIC) + 8  # magic + uint32 version + uint32 length
+
+
+@dataclass
+class ManifestEntry:
+    """One table of a manifest generation: its file name and content identity."""
+
+    file: str
+    fingerprint: str
+    num_rows: int = 0
+
+
+@dataclass
+class RepositoryManifest:
+    """A versioned catalog of a repository directory: one committed generation.
+
+    The manifest is the unit of snapshot isolation for disk-backed
+    repositories: writers assemble the next ``{table name → ManifestEntry}``
+    map, bump ``generation`` by one and publish the whole document in a single
+    ``os.replace`` (:func:`write_manifest`), so a concurrent reader opening
+    the file sees either the previous complete generation or the new complete
+    generation, never a mix.  ``generation`` is strictly monotonically
+    increasing over the lifetime of a directory; snapshot readers use it to
+    order their observations.
+    """
+
+    generation: int
+    tables: dict[str, ManifestEntry]
+
+    def files(self) -> set[str]:
+        """The file names referenced by this generation."""
+        return {entry.file for entry in self.tables.values()}
+
+
+def write_manifest(path: str | Path, manifest: RepositoryManifest) -> None:
+    """Publish a manifest generation atomically (temp sibling + ``os.replace``).
+
+    The payload is ``MANIFEST_MAGIC`` + little-endian uint32 version + uint32
+    JSON length + the JSON document, assembled in a uniquely-named temp file
+    so a crash between the temp write and the replace leaves only ``*.tmp``
+    debris next to an intact previous generation.
+    """
+    path = Path(path)
+    if manifest.generation < 0:
+        raise ValueError(f"manifest generation must be >= 0, got {manifest.generation}")
+    doc = {
+        "generation": manifest.generation,
+        "tables": {
+            name: {
+                "file": entry.file,
+                "fingerprint": entry.fingerprint,
+                "num_rows": entry.num_rows,
+            }
+            for name, entry in manifest.tables.items()
+        },
+    }
+    payload = json.dumps(doc, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+    def write_to(handle):
+        handle.write(MANIFEST_MAGIC)
+        handle.write(MANIFEST_VERSION.to_bytes(4, "little"))
+        handle.write(len(payload).to_bytes(4, "little"))
+        handle.write(payload)
+
+    atomic_replace(path, write_to)
+
+
+def read_manifest(path: str | Path) -> RepositoryManifest:
+    """Read a manifest written by :func:`write_manifest`.
+
+    Raises :class:`ManifestFormatError` on bad magic, an unsupported version,
+    a truncated payload or a malformed document — a manifest is either a
+    complete committed generation or an error, never a partial catalog.
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        prefix = handle.read(_MANIFEST_PREFIX_LEN)
+        _count(len(prefix))
+        if len(prefix) < _MANIFEST_PREFIX_LEN or prefix[: len(MANIFEST_MAGIC)] != MANIFEST_MAGIC:
+            raise ManifestFormatError(f"{path}: not a repository manifest (bad magic)")
+        version = int.from_bytes(prefix[len(MANIFEST_MAGIC) : len(MANIFEST_MAGIC) + 4], "little")
+        if version != MANIFEST_VERSION:
+            raise ManifestFormatError(
+                f"{path}: unsupported manifest version {version} "
+                f"(this build reads version {MANIFEST_VERSION})"
+            )
+        length = int.from_bytes(prefix[len(MANIFEST_MAGIC) + 4 :], "little")
+        payload = handle.read(length)
+        _count(len(payload))
+    if len(payload) < length:
+        raise ManifestFormatError(f"{path}: truncated manifest payload")
+    try:
+        doc = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise ManifestFormatError(f"{path}: corrupt manifest JSON: {exc}") from None
+    generation = doc.get("generation")
+    tables_doc = doc.get("tables")
+    if not isinstance(generation, int) or generation < 0 or not isinstance(tables_doc, dict):
+        raise ManifestFormatError(f"{path}: malformed manifest document")
+    tables: dict[str, ManifestEntry] = {}
+    for name, entry in tables_doc.items():
+        try:
+            tables[name] = ManifestEntry(
+                file=entry["file"],
+                fingerprint=entry["fingerprint"],
+                num_rows=int(entry.get("num_rows", 0)),
+            )
+        except (TypeError, KeyError) as exc:
+            raise ManifestFormatError(
+                f"{path}: malformed manifest entry for table {name!r}: {exc}"
+            ) from None
+    return RepositoryManifest(generation=generation, tables=tables)
 
 
 # -- reading -----------------------------------------------------------------

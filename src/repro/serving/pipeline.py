@@ -51,7 +51,7 @@ import numpy as np
 from repro.core.executor import JoinExecutor, make_executor
 from repro.core.join_execution import replay_kept_joins
 from repro.discovery.candidates import JoinCandidate, KeyPair
-from repro.discovery.repository import DataRepository
+from repro.discovery.repository import DataRepository, RepositorySnapshot
 from repro.ml.persistence import estimator_from_state, estimator_to_state
 from repro.relational.encoding import ColumnEncoderState, FittedEncoder
 from repro.relational.imputation import ColumnImputeState, FittedImputer
@@ -162,7 +162,12 @@ class FittedPipeline:
         self.target_categories = target_categories
         self.provenance = provenance or []
         self.metadata = metadata or {}
-        self._repository: DataRepository | None = None
+        # the validated view joins replay against (a snapshot when bound to a
+        # live repository), the object bind() was originally handed, and
+        # whether we created — and must release — the snapshot ourselves
+        self._repository: DataRepository | RepositorySnapshot | None = None
+        self._bound_source: DataRepository | RepositorySnapshot | None = None
+        self._owns_snapshot = False
 
     # -- introspection ---------------------------------------------------------
 
@@ -203,7 +208,9 @@ class FittedPipeline:
 
     # -- repository binding ----------------------------------------------------
 
-    def bind(self, repository: DataRepository) -> "FittedPipeline":
+    def bind(
+        self, repository: DataRepository | RepositorySnapshot
+    ) -> "FittedPipeline":
         """Validate ``repository`` against the stored fingerprints and keep it.
 
         Every kept join's foreign table must exist and fingerprint-match its
@@ -211,32 +218,62 @@ class FittedPipeline:
         :class:`~repro.serving.artifact.ArtifactError` — refusing to serve
         beats silently joining different data.  Disk-backed repositories are
         validated from catalog headers without reading any table body.
+
+        A live :class:`~repro.discovery.repository.DataRepository` is pinned
+        as a snapshot of its current manifest generation: validation and every
+        subsequent join replay read that one generation, so a concurrent
+        ``replace`` can neither drift a table under a validated pipeline nor
+        tear a multi-table join plan.  Re-``bind`` the same repository to pick
+        up a newer generation (hot reload) — the fingerprints are re-validated
+        and the previous pin is dropped.  Pass a
+        :class:`~repro.discovery.repository.RepositorySnapshot` to serve a
+        specific pinned generation; its lifetime then stays with the caller.
         Returns ``self`` for chaining.
         """
-        for step in self.joins:
-            if step.foreign_table not in repository:
-                raise ArtifactError(
-                    f"repository has no table {step.foreign_table!r} "
-                    f"required by the fitted join plan"
-                )
-            try:
-                fingerprint = repository.header(step.foreign_table).fingerprint
-            except KeyError:
-                fingerprint = table_fingerprint(repository.get(step.foreign_table))
-            if fingerprint != step.fingerprint:
-                raise ArtifactError(
-                    f"table {step.foreign_table!r} drifted since training: "
-                    f"fingerprint {fingerprint} != fitted {step.fingerprint} "
-                    f"(re-fit the pipeline or restore the table)"
-                )
-        self._repository = repository
+        source = repository
+        if isinstance(repository, DataRepository):
+            view: DataRepository | RepositorySnapshot = repository.snapshot()
+            owns = True
+        else:
+            view = repository
+            owns = False
+        try:
+            for step in self.joins:
+                if step.foreign_table not in view:
+                    raise ArtifactError(
+                        f"repository has no table {step.foreign_table!r} "
+                        f"required by the fitted join plan"
+                    )
+                try:
+                    fingerprint = view.header(step.foreign_table).fingerprint
+                except KeyError:
+                    fingerprint = table_fingerprint(view.get(step.foreign_table))
+                if fingerprint != step.fingerprint:
+                    raise ArtifactError(
+                        f"table {step.foreign_table!r} drifted since training: "
+                        f"fingerprint {fingerprint} != fitted {step.fingerprint} "
+                        f"(re-fit the pipeline or restore the table)"
+                    )
+        except BaseException:
+            if owns:
+                view.release()
+            raise
+        if self._owns_snapshot and isinstance(self._repository, RepositorySnapshot):
+            self._repository.release()
+        self._repository = view
+        self._bound_source = source
+        self._owns_snapshot = owns
         return self
 
-    def _resolve_repository(self, repository: DataRepository | None) -> DataRepository:
+    def _resolve_repository(
+        self, repository: DataRepository | RepositorySnapshot | None
+    ) -> DataRepository | RepositorySnapshot:
         if repository is not None:
-            if repository is not self._repository:
+            # the object a caller passes per-request is usually the one bind()
+            # already pinned (or the pin itself): neither needs re-validation
+            if repository is not self._repository and repository is not self._bound_source:
                 self.bind(repository)
-            return repository
+            return self._repository if self._repository is not None else repository
         if self._repository is None:
             raise ValueError(
                 "this pipeline replays joins and needs a repository: pass "
@@ -272,7 +309,7 @@ class FittedPipeline:
     def transform(
         self,
         rows: Table,
-        repository: DataRepository | None = None,
+        repository: DataRepository | RepositorySnapshot | None = None,
         executor: str | JoinExecutor = "serial",
         n_jobs: int | None = None,
     ) -> np.ndarray:
@@ -309,7 +346,7 @@ class FittedPipeline:
     def iter_transform(
         self,
         rows: Table,
-        repository: DataRepository | None = None,
+        repository: DataRepository | RepositorySnapshot | None = None,
         batch_rows: int = DEFAULT_BATCH_ROWS,
         executor: str | JoinExecutor = "serial",
         n_jobs: int | None = None,
@@ -364,7 +401,7 @@ class FittedPipeline:
     def predict(
         self,
         rows: Table,
-        repository: DataRepository | None = None,
+        repository: DataRepository | RepositorySnapshot | None = None,
         executor: str | JoinExecutor = "serial",
         n_jobs: int | None = None,
         batch_rows: int | None = None,
@@ -395,7 +432,7 @@ class FittedPipeline:
     def iter_predict(
         self,
         rows: Table,
-        repository: DataRepository | None = None,
+        repository: DataRepository | RepositorySnapshot | None = None,
         batch_rows: int = DEFAULT_BATCH_ROWS,
         executor: str | JoinExecutor = "serial",
         n_jobs: int | None = None,
@@ -475,7 +512,7 @@ class FittedPipeline:
 
     @classmethod
     def load(
-        cls, path: str | Path, repository: DataRepository | None = None
+        cls, path: str | Path, repository: DataRepository | RepositorySnapshot | None = None
     ) -> "FittedPipeline":
         """Restore a pipeline saved by :meth:`save`.
 
@@ -647,7 +684,10 @@ def fit_pipeline_from_training(
         provenance=provenance,
         metadata=metadata,
     )
+    # the training repository (or the pinned snapshot ARDA ran against) is
+    # already the validated view — keep it without re-pinning
     pipeline._repository = repository
+    pipeline._bound_source = repository
     return pipeline, encoded.matrix, y
 
 

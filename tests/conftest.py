@@ -2,10 +2,34 @@
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.relational import Table
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "stress: deep randomized concurrency runs; tier-1 runs a quick "
+        "profile, set ARDA_STRESS=<iterations> for the full sweep",
+    )
+
+
+@pytest.fixture(scope="session")
+def si_repro_dir(tmp_path_factory) -> Path:
+    """Where failing snapshot-isolation histories are serialized for replay.
+
+    Defaults to ``tests/_si_failures`` (checked-in ``.gitignore``\\ d path that
+    CI uploads as an artifact); ``ARDA_SI_REPRO_DIR`` overrides it.
+    """
+    override = os.environ.get("ARDA_SI_REPRO_DIR", "").strip()
+    if override:
+        return Path(override)
+    return Path(__file__).parent / "_si_failures"
 
 
 @pytest.fixture

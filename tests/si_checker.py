@@ -1,0 +1,581 @@
+"""Black-box snapshot-isolation checker for :class:`DataRepository`.
+
+The method follows "Efficient Black-box Checking of Snapshot Isolation in
+Databases": drive the system with a concurrent workload, record only what the
+API lets clients observe (published generations, snapshot contents, read
+results), then validate the recorded *history* against the snapshot-isolation
+contract — without ever peeking at the repository's internals.
+
+Three pieces:
+
+* :func:`run_workload` — a multi-threaded driver.  N writer threads perform
+  randomized ``add`` / ``replace`` / ``remove`` mutations (recording the
+  generation each one published); M reader threads repeatedly take snapshots,
+  record every ``(generation, table name, fingerprint)`` the snapshot claims,
+  optionally verify each claim by actually loading the table and
+  re-fingerprinting it, and randomly hold a few snapshots open across
+  subsequent writes to stress the garbage collector.
+* :func:`check_history` — the validator.  Because every mutation records the
+  generation it published, the committed state at *every* generation can be
+  replayed deterministically; each snapshot observation is then checked
+  against the replayed state of its claimed generation.  Anomalies flagged:
+
+  - ``torn-snapshot`` — a snapshot whose table/fingerprint map matches no
+    single committed generation (it mixes two generations);
+  - ``phantom-table`` / ``lost-table`` / ``resurrected-delete`` — a snapshot
+    showing a table its generation does not have (worst case: one a previous
+    generation deleted), or missing one it does;
+  - ``dirty-read`` — a loaded table's actual content differs from the
+    fingerprint its snapshot claimed;
+  - ``gc-reclaimed-live-file`` — reading through a *live* snapshot failed,
+    i.e. a file it pinned was deleted under it;
+  - ``non-monotonic-generation`` — one reader's successive snapshots went
+    backwards in generation;
+  - ``duplicate-generation`` / ``generation-gap`` — two writers published the
+    same generation, or a generation number was skipped.
+
+* :func:`serialize_history` / :func:`history_from_json` — JSON round-trip so
+  a failing randomized history can be written to a repro file and replayed.
+
+Deliberately broken repository variants (:class:`TornPublishRepository`,
+:class:`EagerGCRepository`) are provided so the test suite can prove the
+validator actually catches the anomalies it claims to.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.discovery.repository import DataRepository
+from repro.relational.persist import table_fingerprint
+from repro.relational.table import Table
+
+
+def stress_iterations(default: int = 8) -> int:
+    """How many randomized histories stress tests should validate.
+
+    Tier-1 keeps the default small so the suite stays fast; CI's concurrency
+    job (and anyone hunting a race locally) raises it with ``ARDA_STRESS``.
+    (Defined here rather than in ``conftest.py`` because ``conftest`` is not
+    an importable module name across test roots.)
+    """
+    import os
+
+    value = os.environ.get("ARDA_STRESS", "").strip()
+    if not value:
+        return default
+    try:
+        return max(1, int(value))
+    except ValueError:
+        return default
+
+
+# -- workload definition ------------------------------------------------------
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape of one randomized concurrent workload."""
+
+    tables: int = 4  # distinct table names writers mutate
+    writers: int = 2  # concurrent writer threads
+    readers: int = 2  # concurrent snapshot-taking threads
+    writer_ops: int = 10  # mutations per writer
+    reader_snapshots: int = 15  # snapshots per reader
+    seed: int = 0
+    verify_reads: bool = True  # load + re-fingerprint every claimed table
+    payload_rows: int = 4  # rows per generated table version
+
+
+@dataclass
+class WriteOp:
+    """One committed mutation, as the writer thread observed it."""
+
+    thread: int
+    index: int
+    op: str  # "add" | "replace" | "remove"
+    table: str
+    fingerprint: str | None  # None for remove
+    generation: int
+
+
+@dataclass
+class SnapshotObservation:
+    """Everything one snapshot exposed to its reader."""
+
+    thread: int
+    index: int
+    generation: int
+    tables: dict[str, str]  # name -> claimed fingerprint
+    verified: dict[str, str] = field(default_factory=dict)  # name -> loaded fingerprint
+    errors: dict[str, str] = field(default_factory=dict)  # name -> read failure
+
+
+@dataclass
+class History:
+    """One complete recorded run: the validator's only input."""
+
+    seed: int
+    config: WorkloadConfig
+    initial_generation: int
+    initial_tables: dict[str, str]  # committed state when the workload started
+    writes: list[WriteOp]
+    observations: list[SnapshotObservation]
+
+
+@dataclass
+class Anomaly:
+    """One snapshot-isolation violation found by :func:`check_history`."""
+
+    kind: str
+    thread: int
+    index: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] reader {self.thread} obs {self.index}: {self.detail}"
+
+
+# -- the driver ----------------------------------------------------------------
+
+
+def _make_table(name: str, rng: np.random.Generator, rows: int) -> Table:
+    """A small table whose content (and hence fingerprint) is random."""
+    return Table.from_dict(
+        {
+            "k": [float(i) for i in range(rows)],
+            "v": [float(x) for x in rng.integers(0, 1_000_000, size=rows)],
+        },
+        name=name,
+    )
+
+
+def run_workload(repository: DataRepository, config: WorkloadConfig) -> History:
+    """Drive ``repository`` with a randomized concurrent workload.
+
+    The repository may be disk-backed or in-memory; it may already contain
+    tables (they become part of the recorded initial state).  Writer errors
+    that the API contract allows under concurrency (``add`` losing a name
+    race, ``remove`` of a just-removed table) are treated as no-ops; anything
+    else propagates.
+    """
+    rng = np.random.default_rng(config.seed)
+    names = [f"t{i}" for i in range(config.tables)]
+    # seed half the tables so removes/replaces have something to hit from op 1
+    for name in names[: max(1, config.tables // 2)]:
+        if name not in repository:
+            repository.add(_make_table(name, rng, config.payload_rows))
+
+    initial_generation = repository.generation
+    with repository.snapshot() as seed_snapshot:
+        initial_tables = dict(seed_snapshot.fingerprints())
+
+    writes: list[WriteOp] = []
+    observations: list[SnapshotObservation] = []
+    record_lock = threading.Lock()
+    failures: list[BaseException] = []
+    barrier = threading.Barrier(config.writers + config.readers)
+
+    def writer(thread_id: int) -> None:
+        wrng = np.random.default_rng([config.seed, 1000 + thread_id])
+        barrier.wait()
+        for index in range(config.writer_ops):
+            name = names[int(wrng.integers(0, len(names)))]
+            op = ("add", "replace", "remove")[int(wrng.integers(0, 3))]
+            try:
+                if op == "remove":
+                    generation = repository.remove(name)
+                    fingerprint = None
+                else:
+                    table = _make_table(name, wrng, config.payload_rows)
+                    fingerprint = table_fingerprint(table)
+                    if op == "add":
+                        generation = repository.add(table)
+                    else:
+                        generation = repository.replace(table)
+            except (ValueError, KeyError):
+                continue  # lost a name race / removed a missing table: allowed
+            with record_lock:
+                writes.append(
+                    WriteOp(
+                        thread=thread_id,
+                        index=index,
+                        op=op,
+                        table=name,
+                        fingerprint=fingerprint,
+                        generation=generation,
+                    )
+                )
+
+    def reader(thread_id: int) -> None:
+        rrng = np.random.default_rng([config.seed, 2000 + thread_id])
+        held: list = []  # snapshots deliberately kept open to stress GC
+        barrier.wait()
+        try:
+            for index in range(config.reader_snapshots):
+                snapshot = repository.snapshot()
+                claimed = dict(snapshot.fingerprints())
+                obs = SnapshotObservation(
+                    thread=thread_id,
+                    index=index,
+                    generation=snapshot.generation,
+                    tables=claimed,
+                )
+                # give writers a chance to publish between claim and verify:
+                # under SI the verify must still see the pinned content
+                time.sleep(float(rrng.uniform(0.0, 0.002)))
+                if config.verify_reads:
+                    for name in claimed:
+                        try:
+                            obs.verified[name] = table_fingerprint(snapshot.get(name))
+                        except Exception as exc:  # noqa: BLE001 - recorded, judged later
+                            obs.errors[name] = f"{type(exc).__name__}: {exc}"
+                with record_lock:
+                    observations.append(obs)
+                if len(held) < 2 and rrng.uniform() < 0.3:
+                    held.append(snapshot)  # pin it across future writes
+                else:
+                    snapshot.release()
+        finally:
+            for snapshot in held:
+                snapshot.release()
+
+    threads = []
+    for w in range(config.writers):
+        threads.append(threading.Thread(target=_guard(writer, failures), args=(w,)))
+    for r in range(config.readers):
+        threads.append(threading.Thread(target=_guard(reader, failures), args=(r,)))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if failures:
+        raise failures[0]
+
+    return History(
+        seed=config.seed,
+        config=config,
+        initial_generation=initial_generation,
+        initial_tables=initial_tables,
+        writes=sorted(writes, key=lambda op: op.generation),
+        observations=observations,
+    )
+
+
+def _guard(fn, failures: list[BaseException]):
+    """Wrap a thread body so unexpected exceptions surface in the main thread."""
+
+    def runner(*args):
+        try:
+            fn(*args)
+        except BaseException as exc:  # noqa: BLE001 - re-raised by run_workload
+            failures.append(exc)
+
+    return runner
+
+
+# -- the validator ---------------------------------------------------------------
+
+
+def replay_states(history: History) -> dict[int, dict[str, str]]:
+    """Committed ``{name → fingerprint}`` state at every generation.
+
+    Generation ``initial_generation`` is the recorded initial state; each
+    recorded write transforms the previous generation's state into its own.
+    """
+    states = {history.initial_generation: dict(history.initial_tables)}
+    state = dict(history.initial_tables)
+    for op in sorted(history.writes, key=lambda op: op.generation):
+        state = dict(state)
+        if op.op == "remove":
+            state.pop(op.table, None)
+        else:
+            state[op.table] = op.fingerprint
+        states[op.generation] = state
+    return states
+
+
+def check_history(history: History) -> list[Anomaly]:
+    """Validate a recorded history against the snapshot-isolation contract."""
+    anomalies: list[Anomaly] = []
+
+    # writer-side invariants: generations are unique and dense
+    generations = [op.generation for op in history.writes]
+    seen: dict[int, WriteOp] = {}
+    for op in sorted(history.writes, key=lambda op: op.generation):
+        if op.generation in seen:
+            other = seen[op.generation]
+            anomalies.append(
+                Anomaly(
+                    kind="duplicate-generation",
+                    thread=op.thread,
+                    index=op.index,
+                    detail=(
+                        f"writers {other.thread} and {op.thread} both published "
+                        f"generation {op.generation}"
+                    ),
+                )
+            )
+        seen[op.generation] = op
+    if generations:
+        expected = set(
+            range(history.initial_generation + 1, max(generations) + 1)
+        )
+        for missing in sorted(expected - set(generations)):
+            anomalies.append(
+                Anomaly(
+                    kind="generation-gap",
+                    thread=-1,
+                    index=-1,
+                    detail=f"no recorded write published generation {missing}",
+                )
+            )
+
+    states = replay_states(history)
+
+    # reader-side invariants, one observation at a time
+    last_generation: dict[int, int] = {}
+    for obs in history.observations:
+        previous = last_generation.get(obs.thread)
+        if previous is not None and obs.generation < previous:
+            anomalies.append(
+                Anomaly(
+                    kind="non-monotonic-generation",
+                    thread=obs.thread,
+                    index=obs.index,
+                    detail=(
+                        f"snapshot generation went backwards: "
+                        f"{previous} then {obs.generation}"
+                    ),
+                )
+            )
+        last_generation[obs.thread] = obs.generation
+
+        state = states.get(obs.generation)
+        if state is None:
+            anomalies.append(
+                Anomaly(
+                    kind="torn-snapshot",
+                    thread=obs.thread,
+                    index=obs.index,
+                    detail=(
+                        f"snapshot claims generation {obs.generation}, which no "
+                        f"recorded write published"
+                    ),
+                )
+            )
+            continue
+
+        for name, fingerprint in obs.tables.items():
+            if name not in state:
+                deleted_before = any(
+                    op.op == "remove"
+                    and op.table == name
+                    and op.generation <= obs.generation
+                    for op in history.writes
+                )
+                kind = "resurrected-delete" if deleted_before else "phantom-table"
+                source = _fingerprint_source(history, states, name, fingerprint)
+                anomalies.append(
+                    Anomaly(
+                        kind=kind,
+                        thread=obs.thread,
+                        index=obs.index,
+                        detail=(
+                            f"table {name!r} shown by a generation-{obs.generation} "
+                            f"snapshot, but that generation does not have it{source}"
+                        ),
+                    )
+                )
+            elif state[name] != fingerprint:
+                source = _fingerprint_source(history, states, name, fingerprint)
+                anomalies.append(
+                    Anomaly(
+                        kind="torn-snapshot",
+                        thread=obs.thread,
+                        index=obs.index,
+                        detail=(
+                            f"table {name!r} shows fingerprint {fingerprint[:12]}… "
+                            f"but generation {obs.generation} committed "
+                            f"{state[name][:12]}…{source}"
+                        ),
+                    )
+                )
+        for name in state:
+            if name not in obs.tables:
+                anomalies.append(
+                    Anomaly(
+                        kind="lost-table",
+                        thread=obs.thread,
+                        index=obs.index,
+                        detail=(
+                            f"generation {obs.generation} has table {name!r} "
+                            f"but the snapshot does not show it"
+                        ),
+                    )
+                )
+
+        for name, actual in obs.verified.items():
+            claimed = obs.tables.get(name)
+            if claimed is not None and actual != claimed:
+                anomalies.append(
+                    Anomaly(
+                        kind="dirty-read",
+                        thread=obs.thread,
+                        index=obs.index,
+                        detail=(
+                            f"loading {name!r} through the snapshot returned "
+                            f"content {actual[:12]}…, not the claimed "
+                            f"{claimed[:12]}…"
+                        ),
+                    )
+                )
+        for name, error in obs.errors.items():
+            anomalies.append(
+                Anomaly(
+                    kind="gc-reclaimed-live-file",
+                    thread=obs.thread,
+                    index=obs.index,
+                    detail=(
+                        f"reading {name!r} through a live snapshot of generation "
+                        f"{obs.generation} failed: {error}"
+                    ),
+                )
+            )
+
+    return anomalies
+
+
+def _fingerprint_source(
+    history: History, states: dict[int, dict[str, str]], name: str, fingerprint: str
+) -> str:
+    """Which generation(s) actually committed this (name, fingerprint) pair."""
+    if fingerprint is None:
+        return ""
+    sources = [
+        generation
+        for generation, state in sorted(states.items())
+        if state.get(name) == fingerprint
+    ]
+    if not sources:
+        return " (content from no committed generation)"
+    return f" (content committed at generation {sources[0]})"
+
+
+# -- repro-file round-trip --------------------------------------------------------
+
+
+def serialize_history(history: History) -> str:
+    """JSON form of a history, for repro files and artifacts."""
+    return json.dumps(asdict(history), indent=2, sort_keys=True)
+
+
+def history_from_json(text: str) -> History:
+    """Inverse of :func:`serialize_history`."""
+    doc = json.loads(text)
+    return History(
+        seed=doc["seed"],
+        config=WorkloadConfig(**doc["config"]),
+        initial_generation=doc["initial_generation"],
+        initial_tables=dict(doc["initial_tables"]),
+        writes=[WriteOp(**op) for op in doc["writes"]],
+        observations=[SnapshotObservation(**obs) for obs in doc["observations"]],
+    )
+
+
+def assert_history_clean(history: History, repro_dir: Path | None = None) -> None:
+    """Raise ``AssertionError`` on any anomaly, serializing a repro file first."""
+    anomalies = check_history(history)
+    if not anomalies:
+        return
+    location = ""
+    if repro_dir is not None:
+        repro_dir.mkdir(parents=True, exist_ok=True)
+        repro_path = repro_dir / f"history-seed{history.seed}.json"
+        repro_path.write_text(serialize_history(history))
+        location = f" (history serialized to {repro_path})"
+    summary = "\n".join(str(a) for a in anomalies[:20])
+    raise AssertionError(
+        f"{len(anomalies)} snapshot-isolation anomal"
+        f"{'y' if len(anomalies) == 1 else 'ies'} in seed-{history.seed} "
+        f"history{location}:\n{summary}"
+    )
+
+
+# -- deliberately broken variants (negative controls) ------------------------------
+
+
+class TornPublishRepository(DataRepository):
+    """A repository whose catalog swap lags its manifest publication.
+
+    Models an unlocked publish: the generation number becomes visible one
+    mutation *before* the catalog contents that belong to it — exactly the
+    window a writer without ``_write_lock`` atomicity would expose.  Every
+    snapshot taken between two mutations therefore pairs generation N with
+    the catalog of generation N-1, which the validator must flag.
+    """
+
+    def __init__(self, *args, **kwargs):
+        self._deferred_catalog: dict | None = None
+        super().__init__(*args, **kwargs)
+
+    def _publish(self, new_catalog):
+        generation = self._generation + 1
+        if self._manifest_path is not None:
+            # keep the on-disk manifest honest; the tear is in-process
+            from repro.relational.persist import (
+                ManifestEntry,
+                RepositoryManifest,
+                write_manifest,
+            )
+
+            write_manifest(
+                self._manifest_path,
+                RepositoryManifest(
+                    generation=generation,
+                    tables={
+                        name: ManifestEntry(
+                            file=entry.path.name,
+                            fingerprint=entry.header.fingerprint,
+                            num_rows=entry.header.num_rows,
+                        )
+                        for name, entry in new_catalog.items()
+                    },
+                ),
+            )
+        if self._deferred_catalog is not None:
+            self._catalog = self._deferred_catalog  # one mutation late
+        self._deferred_catalog = new_catalog
+        self._generation = generation
+        return generation
+
+
+class EagerGCRepository(DataRepository):
+    """A repository whose garbage collector ignores live snapshot pins.
+
+    Models the bug the reference-counted GC exists to prevent: a superseded
+    table file is deleted the moment it leaves the current catalog, even
+    though live snapshots still reference it.  Reads through those snapshots
+    fail (or mmap-protected ones survive by OS courtesy, which the checker
+    does not rely on), surfacing as ``gc-reclaimed-live-file`` anomalies.
+    """
+
+    def _collect_garbage(self) -> int:
+        referenced = {entry.path for entry in self._catalog.values()}
+        reclaimed = 0
+        for path in list(self._pending_gc):
+            if path in referenced:
+                continue
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                continue
+            self._pending_gc.discard(path)
+            reclaimed += 1
+        return reclaimed

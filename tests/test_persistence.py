@@ -276,13 +276,14 @@ class TestDiskRepository:
         make_repo_dir(tmp_path, n_tables=1)
         repo = DataRepository.open(tmp_path)
         repo.add(Table.from_dict({"x": [1.0]}, name="added"))
-        assert (tmp_path / "added.tbl").exists()
+        # staged under a content-addressed name and published in the manifest
+        assert list(tmp_path.glob("added-*.tbl"))
         with pytest.raises(ValueError, match="already registered"):
             repo.add(Table.from_dict({"x": [2.0]}, name="added"))
         # a fresh open sees the new table
         assert "added" in DataRepository.open(tmp_path)
         repo.remove("added")
-        assert not (tmp_path / "added.tbl").exists()
+        assert not list(tmp_path.glob("added-*.tbl"))
         assert "added" not in DataRepository.open(tmp_path)
 
     def test_mmap_table_survives_replace(self, tmp_path):
@@ -299,13 +300,15 @@ class TestDiskRepository:
         assert np.array_equal(old["value"].values, old_values)
         assert old["entity_id"].to_list()[:2] == ["e0", "e1"]
 
-    def test_replace_reuses_catalogued_path(self, tmp_path):
-        # a table whose file stem differs from its table name must be
-        # rewritten in place, not duplicated under a second file
+    def test_replace_supersedes_catalogued_path(self, tmp_path):
+        # a table adopted under an arbitrary file stem is republished under
+        # its content-addressed name; the superseded file is reclaimed (no
+        # snapshot pins it) so the directory never accumulates duplicates
         write_table(Table.from_dict({"x": [1.0]}, name="sales"), tmp_path / "x.tbl")
         repo = DataRepository.open(tmp_path)
         repo.replace(Table.from_dict({"x": [2.0]}, name="sales"))
-        assert sorted(p.name for p in tmp_path.glob("*.tbl")) == ["x.tbl"]
+        names = sorted(p.name for p in tmp_path.glob("*.tbl"))
+        assert len(names) == 1 and names[0].startswith("sales-")
         reopened = DataRepository.open(tmp_path)
         assert reopened.get("sales")["x"].to_list() == [2.0]
 
@@ -350,7 +353,7 @@ class TestCsvIngestion:
         (csv_dir / "gone.csv").unlink()
         repo = DataRepository.from_csv_directory(csv_dir, ingest=bin_dir)
         assert repo.table_names == ["keep"]
-        assert not (bin_dir / "gone.tbl").exists()
+        assert not list(bin_dir.glob("gone*.tbl"))
 
     def test_ingest_never_prunes_tables_persisted_by_other_means(self, tmp_path):
         csv_dir = tmp_path / "csv"

@@ -1,0 +1,817 @@
+"""Snapshot isolation of the repository manifest layer.
+
+Four layers of assurance, bottom-up:
+
+* unit tests of the manifest format and the generation lifecycle;
+* deterministic tests of snapshot pinning, reference-counted GC and crash
+  recovery (debris injection);
+* unit tests that the black-box history validator (``tests/si_checker.py``)
+  flags every anomaly kind it claims to — including against deliberately
+  broken repository variants (torn publish, eager GC);
+* randomized multi-threaded workloads (hypothesis-driven, fixed seeds)
+  validated by that checker — a quick profile in tier-1, hundreds of
+  histories under ``-m stress`` with ``ARDA_STRESS`` set (CI's concurrency
+  job).  Failing histories are serialized to a repro file.
+"""
+
+from __future__ import annotations
+
+import gc
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.discovery.repository import (
+    MANIFEST_NAME,
+    PROFILE_SIDECAR,
+    DataRepository,
+    ProfileCache,
+    RepositorySnapshot,
+)
+from repro.relational.persist import (
+    ManifestEntry,
+    ManifestFormatError,
+    RepositoryManifest,
+    TableFormatError,
+    read_manifest,
+    table_fingerprint,
+    write_manifest,
+    write_table,
+)
+from repro.relational.table import Table
+from si_checker import (
+    Anomaly,
+    EagerGCRepository,
+    History,
+    SnapshotObservation,
+    TornPublishRepository,
+    WorkloadConfig,
+    WriteOp,
+    assert_history_clean,
+    check_history,
+    history_from_json,
+    run_workload,
+    serialize_history,
+    stress_iterations,
+)
+
+
+def make_table(name: str, payload: float) -> Table:
+    return Table.from_dict({"k": [1.0, 2.0], "v": [payload, payload + 1.0]}, name=name)
+
+
+# -- the manifest format -------------------------------------------------------
+
+
+class TestManifestFormat:
+    def test_round_trip(self, tmp_path):
+        manifest = RepositoryManifest(
+            generation=7,
+            tables={
+                "a": ManifestEntry(file="a-abc.tbl", fingerprint="abc", num_rows=3),
+                "b": ManifestEntry(file="b-def.tbl", fingerprint="def", num_rows=0),
+            },
+        )
+        path = tmp_path / MANIFEST_NAME
+        write_manifest(path, manifest)
+        loaded = read_manifest(path)
+        assert loaded.generation == 7
+        assert loaded.tables == manifest.tables
+        assert sorted(loaded.files()) == ["a-abc.tbl", "b-def.tbl"]
+
+    def test_rejects_negative_generation(self, tmp_path):
+        with pytest.raises(ValueError, match="generation"):
+            write_manifest(tmp_path / "m", RepositoryManifest(generation=-1, tables={}))
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        path.write_bytes(b"NOTAMANI" + b"\x00" * 16)
+        with pytest.raises(ManifestFormatError, match="bad magic"):
+            read_manifest(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        write_manifest(path, RepositoryManifest(generation=1, tables={}))
+        blob = bytearray(path.read_bytes())
+        blob[8] = 99  # version uint32 starts right after the 8-byte magic
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ManifestFormatError, match="version"):
+            read_manifest(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        write_manifest(path, RepositoryManifest(generation=1, tables={}))
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-4])
+        with pytest.raises(ManifestFormatError, match="truncated"):
+            read_manifest(path)
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        write_manifest(path, RepositoryManifest(generation=1, tables={}))
+        blob = bytearray(path.read_bytes())
+        blob[-2] = ord("!")
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ManifestFormatError, match="corrupt"):
+            read_manifest(path)
+
+    def test_no_tmp_debris_after_writes(self, tmp_path):
+        for generation in range(1, 4):
+            write_manifest(
+                tmp_path / MANIFEST_NAME,
+                RepositoryManifest(generation=generation, tables={}),
+            )
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+# -- the generation lifecycle ----------------------------------------------------
+
+
+class TestGenerationLifecycle:
+    def test_legacy_directory_opens_at_generation_zero(self, tmp_path):
+        write_table(make_table("t0", 1.0), tmp_path / "t0.tbl")
+        repo = DataRepository.open(tmp_path)
+        assert repo.generation == 0
+        assert not (tmp_path / MANIFEST_NAME).exists()  # manifest appears lazily
+
+    def test_mutations_publish_monotonic_generations(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        assert repo.add(make_table("a", 1.0)) == 1
+        assert repo.replace(make_table("a", 2.0)) == 2
+        assert repo.add(make_table("b", 3.0)) == 3
+        assert repo.remove("a") == 4
+        assert repo.generation == 4
+        assert read_manifest(tmp_path / MANIFEST_NAME).generation == 4
+
+    def test_reopen_resumes_at_committed_generation(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        repo.replace(make_table("a", 2.0))
+        reopened = DataRepository.open(tmp_path)
+        assert reopened.generation == 2
+        assert reopened.add(make_table("b", 3.0)) == 3
+        assert reopened.get("a")["v"].to_list() == [2.0, 3.0]
+
+    def test_in_memory_generations(self):
+        repo = DataRepository()
+        assert repo.add(make_table("a", 1.0)) == 1
+        assert repo.replace(make_table("a", 2.0)) == 2
+        assert repo.remove("a") == 3
+
+    def test_manifest_referencing_missing_file_raises(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        next(tmp_path.glob("a-*.tbl")).unlink()
+        with pytest.raises(TableFormatError, match="missing table file"):
+            DataRepository.open(tmp_path)
+
+    def test_external_file_collision_prefers_manifest(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        # an out-of-band file carrying an already-managed table name
+        write_table(make_table("a", 9.0), tmp_path / "rogue.tbl")
+        reopened = DataRepository.open(tmp_path)
+        assert reopened.get("a")["v"].to_list() == [1.0, 2.0]
+
+    def test_unmarked_external_file_is_adopted(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        write_table(make_table("extra", 5.0), tmp_path / "extra.tbl")
+        reopened = DataRepository.open(tmp_path)
+        assert sorted(reopened.table_names) == ["a", "extra"]
+        # the adopted table survives the next publish
+        reopened.replace(make_table("a", 2.0))
+        assert sorted(DataRepository.open(tmp_path).table_names) == ["a", "extra"]
+
+
+# -- snapshot semantics ------------------------------------------------------------
+
+
+class TestSnapshotSemantics:
+    def test_snapshot_pins_content_across_replace(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        snap = repo.snapshot()
+        repo.replace(make_table("a", 9.0))
+        assert snap.generation == 1
+        assert snap.get("a")["v"].to_list() == [1.0, 2.0]
+        assert repo.get("a")["v"].to_list() == [9.0, 10.0]
+        assert snap.header("a").fingerprint != repo.header("a").fingerprint
+        snap.release()
+
+    def test_snapshot_pins_removed_table(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        with repo.snapshot() as snap:
+            repo.remove("a")
+            assert "a" in snap
+            assert snap.get("a")["v"].to_list() == [1.0, 2.0]
+            assert "a" not in repo
+
+    def test_snapshot_does_not_see_later_adds(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        with repo.snapshot() as snap:
+            repo.add(make_table("b", 2.0))
+            assert snap.table_names == ["a"]
+            assert "b" not in snap
+            with pytest.raises(KeyError):
+                snap.get("b")
+
+    def test_in_memory_snapshot_is_frozen(self):
+        repo = DataRepository([make_table("a", 1.0)])
+        with repo.snapshot() as snap:
+            repo.replace(make_table("a", 9.0))
+            repo.add(make_table("b", 2.0))
+            assert snap.get("a")["v"].to_list() == [1.0, 2.0]
+            assert snap.table_names == ["a"]
+        assert repo.get("a")["v"].to_list() == [9.0, 10.0]
+
+    def test_released_snapshot_refuses_reads(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        snap = repo.snapshot()
+        snap.release()
+        assert snap.released
+        with pytest.raises(RuntimeError, match="released"):
+            snap.get("a")
+        snap.release()  # idempotent
+
+    def test_snapshot_fingerprints_and_len(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        repo.add(make_table("b", 2.0))
+        with repo.snapshot() as snap:
+            prints = snap.fingerprints()
+            assert set(prints) == {"a", "b"}
+            assert prints["a"] == table_fingerprint(make_table("a", 1.0))
+            assert len(snap) == 2
+            assert {t.name for t in snap} == {"a", "b"}
+
+    def test_snapshot_profiles_are_generation_keyed(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        snap = repo.snapshot()
+        repo.replace(make_table("a", 9.0))
+        old_profiles = snap.profiles("a")
+        new_profiles = repo.profiles("a")
+        assert old_profiles["v"].max_value == 2.0
+        assert new_profiles["v"].max_value == 10.0
+        snap.release()
+
+    def test_repository_pickle_drops_live_snapshots(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        snap = repo.snapshot()
+        clone = pickle.loads(pickle.dumps(repo))
+        assert clone.live_snapshots == 0
+        assert clone.generation == repo.generation
+        assert clone.get("a")["v"].to_list() == [1.0, 2.0]
+        snap.release()
+
+
+# -- snapshot lifetime vs garbage collection ----------------------------------------
+
+
+def live_tbl_files(tmp_path):
+    return sorted(p.name for p in tmp_path.glob("*.tbl"))
+
+
+class TestGarbageCollection:
+    def test_pinned_file_survives_replace_until_release(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        snap = repo.snapshot()
+        old_file = repo.header("a")
+        repo.replace(make_table("a", 9.0))
+        assert len(live_tbl_files(tmp_path)) == 2  # old pinned + new live
+        assert snap.get("a")["v"].to_list() == [1.0, 2.0]
+        snap.release()
+        files = live_tbl_files(tmp_path)
+        assert len(files) == 1
+        assert files[0].startswith("a-")
+        assert old_file.fingerprint != repo.header("a").fingerprint
+
+    def test_last_of_many_snapshots_releases_file(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        snaps = [repo.snapshot() for _ in range(3)]
+        repo.replace(make_table("a", 9.0))
+        for snap in snaps[:-1]:
+            snap.release()
+            assert len(live_tbl_files(tmp_path)) == 2  # still pinned by the rest
+        snaps[-1].release()
+        assert len(live_tbl_files(tmp_path)) == 1
+
+    def test_dropped_snapshot_reference_reclaims_via_weakref(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        snap = repo.snapshot()
+        repo.replace(make_table("a", 9.0))
+        assert len(live_tbl_files(tmp_path)) == 2
+        del snap
+        gc.collect()
+        assert repo.live_snapshots == 0
+        assert len(live_tbl_files(tmp_path)) == 1
+
+    def test_remove_keeps_file_for_live_snapshot(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        with repo.snapshot() as snap:
+            repo.remove("a")
+            assert len(live_tbl_files(tmp_path)) == 1
+            assert snap.get("a")["v"].to_list() == [1.0, 2.0]
+        assert live_tbl_files(tmp_path) == []
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["add", "replace", "remove", "snapshot", "release"]),
+                st.integers(min_value=0, max_value=2),  # which table / which snapshot
+                st.integers(min_value=0, max_value=99),  # payload variant
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_live_snapshots_never_lose_files(self, tmp_path_factory, ops):
+        """Property: every file a live snapshot references exists and reads back;
+        once all snapshots are gone, only current-catalog files remain."""
+        tmp_path = tmp_path_factory.mktemp("si-gc")
+        repo = DataRepository.open(tmp_path)
+        names = ["a", "b", "c"]
+        snapshots: list[RepositorySnapshot] = []
+        for op, which, payload in ops:
+            name = names[which]
+            if op == "add":
+                if name not in repo:
+                    repo.add(make_table(name, float(payload)))
+            elif op == "replace":
+                repo.replace(make_table(name, float(payload)))
+            elif op == "remove":
+                if name in repo:
+                    repo.remove(name)
+            elif op == "snapshot":
+                if len(snapshots) < 4:
+                    snapshots.append(repo.snapshot())
+            elif op == "release" and snapshots:
+                snapshots.pop(which % len(snapshots)).release()
+            # invariant: every live snapshot can still read every table it pinned
+            for snap in snapshots:
+                for pinned in snap.table_names:
+                    assert table_fingerprint(snap.get(pinned)) == snap.header(
+                        pinned
+                    ).fingerprint
+        for snap in snapshots:
+            snap.release()
+        expected = sorted(entry.path.name for entry in repo._catalog.values())
+        assert live_tbl_files(tmp_path) == expected
+
+
+# -- crash injection ------------------------------------------------------------------
+
+
+class TestCrashInjection:
+    def _repo_with_history(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        repo.add(make_table("b", 2.0))
+        return repo
+
+    def test_full_tmp_manifest_debris_is_ignored_and_cleaned(self, tmp_path):
+        repo = self._repo_with_history(tmp_path)
+        # a writer died between assembling the next manifest in its temp file
+        # and the os.replace: a complete generation-3 document as *.tmp debris
+        write_manifest(
+            tmp_path / "phantom",
+            RepositoryManifest(
+                generation=3,
+                tables={"zzz": ManifestEntry(file="zzz.tbl", fingerprint="00")},
+            ),
+        )
+        (tmp_path / "phantom").rename(tmp_path / f"{MANIFEST_NAME}.k3j2.tmp")
+        reopened = DataRepository.open(tmp_path)
+        assert reopened.generation == repo.generation  # previous generation wins
+        assert sorted(reopened.table_names) == ["a", "b"]
+        assert not list(tmp_path.glob("*.tmp"))  # debris cleaned
+
+    def test_truncated_tmp_debris_is_cleaned(self, tmp_path):
+        repo = self._repo_with_history(tmp_path)
+        (tmp_path / f"{MANIFEST_NAME}.x9.tmp").write_bytes(b"RPROMANF\x01\x00")
+        reopened = DataRepository.open(tmp_path)
+        assert reopened.generation == repo.generation
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_staged_table_without_publish_is_reclaimed(self, tmp_path):
+        repo = self._repo_with_history(tmp_path)
+        # a writer died after staging its content-addressed file but before
+        # publishing the manifest: the staged mark identifies it as debris
+        orphan = make_table("c", 7.0)
+        fingerprint = table_fingerprint(orphan)
+        orphan_path = tmp_path / f"c-{fingerprint[:16]}.tbl"
+        write_table(orphan, orphan_path, meta={"staged": True})
+        reopened = DataRepository.open(tmp_path)
+        assert sorted(reopened.table_names) == ["a", "b"]
+        assert not orphan_path.exists()
+
+    def test_superseded_file_from_dead_process_is_reclaimed(self, tmp_path):
+        repo = self._repo_with_history(tmp_path)
+        old_file = next(tmp_path.glob("a-*.tbl"))
+        snap = repo.snapshot()  # a pin the "dying" process never releases
+        repo.replace(make_table("a", 9.0))
+        assert old_file.exists()  # pinned in the old process
+        # a fresh process opening the directory reclaims the superseded file:
+        # snapshot pins are process-local and do not survive a crash
+        reopened = DataRepository.open(tmp_path)
+        assert sorted(reopened.table_names) == ["a", "b"]
+        assert not old_file.exists()
+        snap.release()
+
+    def test_corrupt_manifest_raises_not_misreads(self, tmp_path):
+        self._repo_with_history(tmp_path)
+        path = tmp_path / MANIFEST_NAME
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(ManifestFormatError):
+            DataRepository.open(tmp_path)
+
+
+# -- the stale-sidecar window ----------------------------------------------------------
+
+
+class TestProfileSidecarStaleness:
+    def test_keyed_miss_stores_under_actual_fingerprint(self):
+        """The race: a catalog entry is read at generation G, the table body at
+        G+1.  The profiles computed then describe G+1's content and must be
+        cached under G+1's fingerprint, never the requested stale one."""
+        cache = ProfileCache()
+        old = make_table("a", 1.0)
+        new = make_table("a", 9.0)
+        old_fp, new_fp = table_fingerprint(old), table_fingerprint(new)
+        # request profiles for old_fp, but the loader already sees new content
+        profiles = cache.get_or_profile_keyed("a", old_fp, loader=lambda: new)
+        assert profiles["v"].max_value == 10.0
+        # the racy miss was stored under the content's ACTUAL fingerprint, so
+        # the new fingerprint hits it without loading
+        assert cache.get_or_profile_keyed(
+            "a", new_fp, loader=lambda: pytest.fail("must not load on a hit")
+        )["v"].max_value == 10.0
+        # while the stale key MISSES (and reprofiles), instead of serving the
+        # new-content profiles it asked the old fingerprint for
+        cache.reset_counters()
+        served = cache.get_or_profile_keyed("a", old_fp, loader=lambda: old)
+        assert served["v"].max_value == 2.0
+        assert cache.stats()["misses"] == 1
+
+    def test_profile_of_generation_g_never_served_after_g_plus_one(self, tmp_path):
+        """Regression for the satellite: persist profiles at generation G,
+        change the table's fingerprint in G+1, and prove no path — reopen,
+        sidecar load, live lookup — serves the stale profiles."""
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        assert repo.profiles("a")["v"].max_value == 2.0
+        repo.save_profiles()  # generation G sidecar on disk
+        repo.replace(make_table("a", 9.0))  # generation G+1 changes the fingerprint
+
+        # in-process: replace() invalidated the entry
+        assert repo.profiles("a")["v"].max_value == 10.0
+
+        # cross-process: a fresh open loads the G sidecar but prunes the entry
+        reopened = DataRepository.open(tmp_path)
+        reopened.profile_cache.reset_counters()
+        assert reopened.profiles("a")["v"].max_value == 10.0
+        assert reopened.profile_cache.stats()["misses"] == 1
+
+    def test_sidecar_save_is_generation_stamped(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        repo.profiles("a")
+        repo.save_profiles()
+        cache = ProfileCache()
+        cache.load(tmp_path / PROFILE_SIDECAR)
+        assert cache.sidecar_generation == 1
+
+    def test_concurrent_save_never_tears_the_sidecar(self, tmp_path):
+        import threading
+
+        repo = DataRepository.open(tmp_path)
+        repo.add(make_table("a", 1.0))
+        repo.profiles("a")
+        errors = []
+
+        def saver():
+            try:
+                for _ in range(10):
+                    repo.save_profiles()
+                    ProfileCache().load(tmp_path / PROFILE_SIDECAR)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=saver) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+
+# -- the history validator -------------------------------------------------------------
+
+
+def _clean_history() -> History:
+    """A hand-built anomaly-free history: two writes, readers at each generation."""
+    return History(
+        seed=0,
+        config=WorkloadConfig(),
+        initial_generation=1,
+        initial_tables={"t0": "aaa"},
+        writes=[
+            WriteOp(thread=0, index=0, op="replace", table="t0", fingerprint="bbb", generation=2),
+            WriteOp(thread=0, index=1, op="remove", table="t0", fingerprint=None, generation=3),
+        ],
+        observations=[
+            SnapshotObservation(
+                thread=0, index=0, generation=1, tables={"t0": "aaa"}, verified={"t0": "aaa"}
+            ),
+            SnapshotObservation(
+                thread=0, index=1, generation=2, tables={"t0": "bbb"}, verified={"t0": "bbb"}
+            ),
+            SnapshotObservation(thread=1, index=0, generation=3, tables={}),
+        ],
+    )
+
+
+class TestHistoryValidator:
+    def test_clean_history_has_no_anomalies(self):
+        assert check_history(_clean_history()) == []
+
+    def _kinds(self, history) -> set[str]:
+        return {a.kind for a in check_history(history)}
+
+    def test_flags_torn_snapshot(self):
+        history = _clean_history()
+        # generation 2 claims generation-1 content: a mixed view
+        history.observations[1] = SnapshotObservation(
+            thread=0, index=1, generation=2, tables={"t0": "aaa"}
+        )
+        assert "torn-snapshot" in self._kinds(history)
+
+    def test_flags_unknown_generation_as_torn(self):
+        history = _clean_history()
+        history.observations.append(
+            SnapshotObservation(thread=2, index=0, generation=99, tables={})
+        )
+        assert "torn-snapshot" in self._kinds(history)
+
+    def test_flags_resurrected_delete(self):
+        history = _clean_history()
+        # generation 3 removed t0, yet a generation-3 snapshot still shows it
+        history.observations[2] = SnapshotObservation(
+            thread=1, index=0, generation=3, tables={"t0": "bbb"}
+        )
+        assert "resurrected-delete" in self._kinds(history)
+
+    def test_flags_phantom_table(self):
+        history = _clean_history()
+        history.observations[0] = SnapshotObservation(
+            thread=0, index=0, generation=1, tables={"t0": "aaa", "ghost": "fff"}
+        )
+        assert "phantom-table" in self._kinds(history)
+
+    def test_flags_lost_table(self):
+        history = _clean_history()
+        history.observations[0] = SnapshotObservation(
+            thread=0, index=0, generation=1, tables={}
+        )
+        assert "lost-table" in self._kinds(history)
+
+    def test_flags_dirty_read(self):
+        history = _clean_history()
+        history.observations[0] = SnapshotObservation(
+            thread=0, index=0, generation=1, tables={"t0": "aaa"}, verified={"t0": "zzz"}
+        )
+        assert "dirty-read" in self._kinds(history)
+
+    def test_flags_gc_reclaimed_live_file(self):
+        history = _clean_history()
+        history.observations[0] = SnapshotObservation(
+            thread=0,
+            index=0,
+            generation=1,
+            tables={"t0": "aaa"},
+            errors={"t0": "FileNotFoundError: gone"},
+        )
+        assert "gc-reclaimed-live-file" in self._kinds(history)
+
+    def test_flags_non_monotonic_generation(self):
+        history = _clean_history()
+        history.observations.append(
+            SnapshotObservation(thread=0, index=2, generation=1, tables={"t0": "aaa"})
+        )
+        assert "non-monotonic-generation" in self._kinds(history)
+
+    def test_flags_duplicate_generation_and_gap(self):
+        history = _clean_history()
+        history.writes.append(
+            WriteOp(thread=1, index=0, op="replace", table="t0", fingerprint="ccc", generation=2)
+        )
+        assert "duplicate-generation" in self._kinds(history)
+        history = _clean_history()
+        history.writes[1] = WriteOp(
+            thread=0, index=1, op="remove", table="t0", fingerprint=None, generation=4
+        )
+        assert "generation-gap" in self._kinds(history)
+
+    def test_history_json_round_trip(self):
+        history = _clean_history()
+        clone = history_from_json(serialize_history(history))
+        assert clone == history
+        assert check_history(clone) == []
+
+    def test_assert_history_clean_writes_repro_file(self, tmp_path):
+        history = _clean_history()
+        history.observations[0] = SnapshotObservation(
+            thread=0, index=0, generation=1, tables={}
+        )
+        with pytest.raises(AssertionError, match="lost-table"):
+            assert_history_clean(history, repro_dir=tmp_path / "failures")
+        repro = tmp_path / "failures" / "history-seed0.json"
+        assert repro.exists()
+        replayed = history_from_json(repro.read_text())
+        assert {a.kind for a in check_history(replayed)} == {"lost-table"}
+
+    def test_anomaly_renders_readably(self):
+        anomaly = Anomaly(kind="torn-snapshot", thread=1, index=2, detail="boom")
+        assert "torn-snapshot" in str(anomaly) and "reader 1" in str(anomaly)
+
+
+# -- negative controls: broken repositories must be caught --------------------------------
+
+
+class TestNegativeControls:
+    def test_torn_publish_is_caught(self, tmp_path):
+        """An unlocked publish (generation visible before its catalog) must
+        produce validator anomalies even single-threaded."""
+        broken = TornPublishRepository.open(tmp_path)
+        broken.add(make_table("t0", 1.0))
+        broken.add(make_table("t1", 2.0))
+        history = History(
+            seed=0,
+            config=WorkloadConfig(),
+            initial_generation=0,
+            initial_tables={},
+            writes=[
+                WriteOp(
+                    thread=0,
+                    index=i,
+                    op="add",
+                    table=f"t{i}",
+                    fingerprint=table_fingerprint(make_table(f"t{i}", float(i + 1))),
+                    generation=i + 1,
+                )
+                for i in range(2)
+            ],
+            observations=[],
+        )
+        with broken.snapshot() as snap:
+            history.observations.append(
+                SnapshotObservation(
+                    thread=0, index=0, generation=snap.generation,
+                    tables=dict(snap.fingerprints()),
+                )
+            )
+        kinds = {a.kind for a in check_history(history)}
+        assert kinds & {"torn-snapshot", "lost-table"}
+
+    def test_torn_publish_caught_by_workload_driver(self, tmp_path):
+        broken = TornPublishRepository.open(tmp_path)
+        history = run_workload(
+            broken,
+            WorkloadConfig(writers=2, readers=2, writer_ops=8, reader_snapshots=10, seed=3),
+        )
+        assert check_history(history), "the validator must flag a torn publish"
+
+    def test_eager_gc_is_caught(self, tmp_path):
+        """A GC that ignores snapshot pins deletes a pinned file; the read
+        through the live snapshot fails and the validator flags it."""
+        broken = EagerGCRepository.open(tmp_path)
+        broken.add(make_table("a", 1.0))
+        snap = broken.snapshot()
+        claimed = dict(snap.fingerprints())
+        broken.replace(make_table("a", 9.0))  # eager GC deletes the pinned file
+        observation = SnapshotObservation(
+            thread=0, index=0, generation=snap.generation, tables=claimed
+        )
+        try:
+            observation.verified["a"] = table_fingerprint(snap.get("a"))
+        except Exception as exc:  # noqa: BLE001 - the failure IS the observation
+            observation.errors["a"] = f"{type(exc).__name__}: {exc}"
+        history = History(
+            seed=0,
+            config=WorkloadConfig(),
+            initial_generation=1,
+            initial_tables=claimed,
+            writes=[
+                WriteOp(
+                    thread=0,
+                    index=0,
+                    op="replace",
+                    table="a",
+                    fingerprint=table_fingerprint(make_table("a", 9.0)),
+                    generation=2,
+                )
+            ],
+            observations=[observation],
+        )
+        kinds = {a.kind for a in check_history(history)}
+        assert kinds & {"gc-reclaimed-live-file", "dirty-read"}
+        snap.release()
+
+
+# -- randomized multi-threaded histories ---------------------------------------------------
+
+
+class TestThreadedHistories:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_disk_backed_workload_is_anomaly_free(self, tmp_path, si_repro_dir, seed):
+        repo = DataRepository.open(tmp_path)
+        history = run_workload(
+            repo,
+            WorkloadConfig(writers=2, readers=2, writer_ops=8, reader_snapshots=10, seed=seed),
+        )
+        assert_history_clean(history, repro_dir=si_repro_dir)
+        assert repo.live_snapshots == 0
+
+    def test_in_memory_workload_is_anomaly_free(self, si_repro_dir):
+        repo = DataRepository()
+        history = run_workload(
+            repo,
+            WorkloadConfig(
+                writers=2, readers=2, writer_ops=8, reader_snapshots=10, seed=7,
+                verify_reads=False,  # in-memory content cannot be torn by GC
+            ),
+        )
+        assert_history_clean(history, repro_dir=si_repro_dir)
+
+    def test_history_is_replayable_from_repro_json(self, tmp_path):
+        repo = DataRepository.open(tmp_path)
+        history = run_workload(
+            repo, WorkloadConfig(writers=1, readers=1, writer_ops=5, reader_snapshots=5, seed=11)
+        )
+        clone = history_from_json(serialize_history(history))
+        assert check_history(clone) == check_history(history) == []
+
+
+@pytest.mark.stress
+class TestStress:
+    """Deep randomized sweep: ≥200 histories in CI (ARDA_STRESS=200).
+
+    ``derandomize=True`` fixes hypothesis' seeds, so every CI run (and every
+    local ``-m stress`` run without ``ARDA_STRESS``) executes the identical
+    history set; a failing history is serialized for replay.
+    """
+
+    @settings(
+        max_examples=stress_iterations(default=8),
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[
+            HealthCheck.function_scoped_fixture,
+            HealthCheck.too_slow,
+            HealthCheck.data_too_large,
+        ],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        writers=st.integers(min_value=1, max_value=3),
+        readers=st.integers(min_value=1, max_value=3),
+        writer_ops=st.integers(min_value=4, max_value=12),
+        tables=st.integers(min_value=2, max_value=5),
+        disk=st.booleans(),
+    )
+    def test_randomized_workloads_are_anomaly_free(
+        self, tmp_path_factory, si_repro_dir, seed, writers, readers, writer_ops, tables, disk
+    ):
+        if disk:
+            repo = DataRepository.open(tmp_path_factory.mktemp("si-stress"))
+        else:
+            repo = DataRepository()
+        config = WorkloadConfig(
+            tables=tables,
+            writers=writers,
+            readers=readers,
+            writer_ops=writer_ops,
+            reader_snapshots=10,
+            seed=seed,
+            verify_reads=disk,
+        )
+        history = run_workload(repo, config)
+        assert_history_clean(history, repro_dir=si_repro_dir)
+        assert repo.live_snapshots == 0
