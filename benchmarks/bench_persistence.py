@@ -12,6 +12,14 @@ Measures, on a generated repository of native binary tables:
 * **profile-cold vs profile-cached** — discovery startup on the large
   (>= 200k rows) table: loading + profiling from scratch vs serving the
   persisted profile sidecar; asserts the cached path is **>= 5x** faster.
+* **save-chunked / load-chunked / chunked-scan** — the row-group layout vs the
+  monolithic one: write cost, full materialisation cost, and the peak traced
+  memory of a chunk-at-a-time scan (the out-of-core access pattern), reported
+  in the ``peak_mb`` column.
+* **streaming-join vs in-memory-join** — the pruned streaming hash join over
+  a chunked file against ``left_join`` on the materialised table; asserts the
+  outputs are **value-identical** and that zone maps prune **>= 50%** of the
+  chunks on the selective-key workload, and reports both paths' peak memory.
 
 Standalone on purpose (no pytest-benchmark dependency) so CI can smoke it:
 
@@ -22,15 +30,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import resource
 import shutil
 import tempfile
 import time
+import tracemalloc
 from pathlib import Path
 
 import numpy as np
 
 from repro.discovery.repository import DataRepository, PROFILE_SIDECAR, TABLE_SUFFIX
 from repro.relational import persist
+from repro.relational.join import left_join, streaming_left_join
 from repro.relational.table import Table
 
 BIG_TABLE = "events"
@@ -74,6 +85,26 @@ def _timed(fn, repeats: int):
         result = fn()
         best = min(best, time.perf_counter() - start)
     return best, result
+
+
+def _timed_peak(fn, repeats: int):
+    """Best wall-clock plus the peak *traced* allocation of the best run.
+
+    tracemalloc covers Python and NumPy heap allocations but not mapped file
+    pages, which is exactly the working-set definition the chunked layout is
+    designed to bound (the OS page cache is reclaimable; the heap is not).
+    """
+    best, result, peak = float("inf"), None, 0
+    for _ in range(repeats):
+        tracemalloc.start()
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        _, run_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        if elapsed < best:
+            best, peak = elapsed, run_peak
+    return best, result, peak
 
 
 def main() -> int:
@@ -171,6 +202,126 @@ def main() -> int:
             failures.append(
                 f"cached-profile startup only {speedup:.1f}x faster than cold (contract: >= 5x)"
             )
+
+        # -- chunked layout: save / load / scan -------------------------------
+        chunk_rows = max(args.rows // 16, 1)
+        mono_path = workdir / "events_mono.tbl"
+        chunked_path = workdir / "events_chunked.tbl"
+        save_mono_s, _ = _timed(
+            lambda: persist.write_table(big, mono_path, chunk_rows=0), repeats
+        )
+        save_chunked_s, _ = _timed(
+            lambda: persist.write_table(big, chunked_path, chunk_rows=chunk_rows), repeats
+        )
+        results.append(
+            {
+                "bench": "save-chunked",
+                "seconds": save_chunked_s,
+                "chunks": 16,
+                "vs_monolithic": save_chunked_s / save_mono_s,
+            }
+        )
+        load_mono_s, _, load_mono_peak = _timed_peak(
+            lambda: Table.load(mono_path, mmap=False), repeats
+        )
+        load_chunked_s, _, load_chunked_peak = _timed_peak(
+            lambda: persist.open_chunks(chunked_path, mmap=False).table(), repeats
+        )
+        results.append(
+            {
+                "bench": "load-chunked",
+                "seconds": load_chunked_s,
+                "peak_mb": load_chunked_peak / 1e6,
+                "vs_monolithic": load_chunked_s / load_mono_s,
+            }
+        )
+
+        def run_scan():
+            reader = persist.open_chunks(chunked_path, mmap=False)
+            total = 0.0
+            for part in reader.iter_chunks(columns=["f0"]):
+                total += float(np.nansum(part.column("f0").values))
+            return total
+
+        scan_s, _, scan_peak = _timed_peak(run_scan, repeats)
+        results.append(
+            {
+                "bench": "chunked-scan",
+                "seconds": scan_s,
+                "peak_mb": scan_peak / 1e6,
+                "full_load_peak_mb": load_mono_peak / 1e6,
+            }
+        )
+        if scan_peak >= load_mono_peak / 4:
+            failures.append(
+                f"chunk-at-a-time scan peaked at {scan_peak / 1e6:.1f} MB, "
+                f"not clearly below the {load_mono_peak / 1e6:.1f} MB full load"
+            )
+
+        # -- streaming pruned join vs in-memory join --------------------------
+        # sorted keys make chunk zones selective; the right side overlaps only
+        # the first tenth of the key range, so >= 50% of chunks must prune
+        join_rows = args.rows
+        rng = np.random.default_rng(17)
+        join_left = Table.from_dict(
+            {
+                "key": np.arange(join_rows, dtype=float),
+                "a": rng.normal(size=join_rows),
+                "b": rng.normal(size=join_rows),
+            },
+            name="join_left",
+        )
+        join_right = Table.from_dict(
+            {
+                "rkey": np.arange(join_rows // 10, dtype=float),
+                "feature": rng.normal(size=join_rows // 10),
+            },
+            name="join_right",
+        )
+        join_path = workdir / "join_left.tbl"
+        persist.write_table(join_left, join_path, chunk_rows=max(join_rows // 20, 1))
+
+        def run_streaming_join():
+            return streaming_left_join(
+                persist.open_chunks(join_path), join_right, [("key", "rkey")]
+            )
+
+        stream_join_s, (streamed, stats), stream_join_peak = _timed_peak(
+            run_streaming_join, repeats
+        )
+        mem_join_s, reference, mem_join_peak = _timed_peak(
+            lambda: left_join(Table.load(join_path, mmap=False), join_right, [("key", "rkey")]),
+            repeats,
+        )
+        results.append(
+            {
+                "bench": "streaming-join",
+                "seconds": stream_join_s,
+                "peak_mb": stream_join_peak / 1e6,
+                "pruning_ratio": stats.pruning_ratio,
+                "chunks_probed": stats.chunks_probed,
+                "chunks_total": stats.chunks_total,
+            }
+        )
+        results.append(
+            {
+                "bench": "in-memory-join",
+                "seconds": mem_join_s,
+                "peak_mb": mem_join_peak / 1e6,
+                "vs_streaming": mem_join_s / stream_join_s,
+            }
+        )
+        identical = streamed.column_names == reference.column_names and all(
+            streamed.column(name) == reference.column(name)
+            for name in reference.column_names
+        )
+        if not identical:
+            failures.append("streaming join output differs from the in-memory join")
+        if stats.pruning_ratio < 0.5:
+            failures.append(
+                f"zone maps pruned only {stats.pruning_ratio:.0%} of chunks on the "
+                "selective-key join (contract: >= 50%)"
+            )
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
@@ -182,6 +333,9 @@ def main() -> int:
             if k not in ("bench", "seconds")
         )
         print(f"{row['bench']:<16} {row['seconds'] * 1e3:>8.1f}ms   {extra}")
+
+    max_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+    print(f"process peak RSS: {max_rss_mb:.0f} MB (informational; includes table building)")
 
     if args.json:
         args.json.write_text(json.dumps({"suite": "persistence", "results": results}, indent=2))

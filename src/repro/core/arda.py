@@ -18,6 +18,7 @@ improve a predictive model, following the workflow of section 3 of the paper:
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -33,9 +34,13 @@ from repro.discovery.candidates import JoinCandidate
 from repro.discovery.discovery import JoinDiscovery
 from repro.discovery.repository import DataRepository, RepositorySnapshot
 from repro.ml.automl import AutoMLSearch
+from repro.relational.column import Column
 from repro.relational.encoding import encode_features_binned, to_design_matrix
 from repro.relational.imputation import impute_table
-from repro.relational.table import Table
+from repro.relational.join import StreamingHashJoin, StreamJoinStats, as_chunk_source
+from repro.relational.persist import write_table_stream
+from repro.relational.schema import CATEGORICAL, NUMERIC
+from repro.relational.table import Table, unique_name
 from repro.selection import make_selector
 from repro.selection.base import default_estimator, holdout_score, infer_task
 from repro.selection.tuple_ratio import TupleRatioFilter
@@ -74,6 +79,7 @@ class ARDA:
         task: str | None = None,
         soft_key_columns: list[str] | None = None,
         dataset_name: str = "",
+        augmented_path: str | Path | None = None,
     ) -> AugmentationReport:
         """Run the full pipeline on raw tables.
 
@@ -91,9 +97,29 @@ class ARDA:
         discovery one version of a table and the final materialisation
         another.  Pass a :class:`~repro.discovery.repository.RepositorySnapshot`
         directly to control the pinned generation yourself.
+
+        Out-of-core mode: ``base_table`` may be a chunked table source
+        (:class:`~repro.relational.persist.ChunkedTableReader`, anything with
+        ``iter_chunks``) instead of a :class:`Table`.  The pipeline then never
+        materialises the base: the coreset is gathered with a chunk-pruned
+        :meth:`~repro.relational.persist.ChunkedTableReader.take`, feature
+        selection runs on the coreset exactly as before, and the final
+        materialisation streams base chunks through build-once hash joins with
+        zone-map pruning, writing the augmented table chunk-by-chunk to
+        ``augmented_path`` (no full output is written when the path is
+        omitted).  Peak memory is bounded by the coreset plus one chunk wave
+        (``config.memory_budget``) plus the build sides.  In this mode the
+        report's ``augmented_table`` holds the *coreset* materialisation, the
+        scores are coreset-level, ``augmented_path``/``stream_stats`` record
+        the streamed output and the per-table pruning ratios, and a kept
+        *soft* join falls back to materialising the base (soft joins need
+        global nearest-neighbour context).
         """
         config = self.config
         start = time.perf_counter()
+        base_source = None
+        if not isinstance(base_table, Table) and hasattr(base_table, "iter_chunks"):
+            base_source = as_chunk_source(base_table)
         repository = self._resolve_repository(repository)
         if config.pin_snapshot and isinstance(repository, DataRepository):
             # the pin is dropped when this snapshot goes out of scope at the
@@ -142,7 +168,10 @@ class ARDA:
 
         # coreset construction
         coreset_start = time.perf_counter()
-        coreset = self._build_coreset(base_table, target)
+        if base_source is not None:
+            coreset = self._build_coreset_streamed(base_source, target)
+        else:
+            coreset = self._build_coreset(base_table, target)
         coreset_time = time.perf_counter() - coreset_start
 
         # join plan
@@ -264,17 +293,31 @@ class ARDA:
                     carry = [c for c in joined.column_names if c not in foreign_set or c in newly_kept]
                     working = joined.select(carry)
 
-            # final materialisation on the full base table
+            # final materialisation on the full base table.  In streamed mode
+            # the full output goes chunk-by-chunk to augmented_path and the
+            # in-memory materialisation (scores, pipeline capture) is done on
+            # the coreset, keeping the working set bounded.
             join_start = time.perf_counter()
-            augmented_full = self._materialise_kept(
-                base_table, repository, kept_specs, executor
-            )
+            stream_stats: dict[str, StreamJoinStats] | None = None
+            out_path: Path | None = None
+            if base_source is not None:
+                augmented_full = self._materialise_kept(
+                    coreset, repository, kept_specs, executor
+                )
+                out_path, stream_stats = self._materialise_kept_streamed(
+                    base_source, repository, kept_specs, executor, augmented_path
+                )
+            else:
+                augmented_full = self._materialise_kept(
+                    base_table, repository, kept_specs, executor
+                )
             join_time += time.perf_counter() - join_start
         finally:
             executor.shutdown()
 
         fit_start = time.perf_counter()
-        base_score = self._final_score(base_table, target, task)
+        score_base = coreset if base_source is not None else base_table
+        base_score = self._final_score(score_base, target, task)
         pipeline = None
         has_features = any(name != target for name in augmented_full.column_names)
         if config.capture_pipeline and has_features:
@@ -287,7 +330,7 @@ class ARDA:
             pipeline, X_full, y_full = fit_pipeline_from_training(
                 target=target,
                 task=task,
-                base_table=base_table,
+                base_table=score_base,
                 augmented_table=augmented_full,
                 kept_specs=kept_specs,
                 repository=repository,
@@ -330,6 +373,8 @@ class ARDA:
             fit_time=fit_time,
             executor=executor.name,
             pipeline=pipeline,
+            augmented_path=out_path if base_source is not None else None,
+            stream_stats=stream_stats,
         )
 
     # -- helpers ----------------------------------------------------------------------
@@ -380,6 +425,139 @@ class ARDA:
             rng=np.random.default_rng(config.random_state),
             executor=executor,
         )
+
+    def _build_coreset_streamed(self, source, target: str) -> Table:
+        """Coreset of an out-of-core base without materialising it.
+
+        The configured coreset builder runs on a two-column skeleton (target
+        plus a row-index column), so its sampling decisions — strategy,
+        stratification, RNG stream — are exactly the in-memory builder's; the
+        sampled row indices are then gathered from the chunk source with
+        :meth:`~repro.relational.persist.ChunkedTableReader.take`, which reads
+        only the chunks that hold sampled rows.  Peak memory is one full
+        column (the target) plus the gathered coreset.  ``"none"`` (or a
+        coreset at least as large as the base) has to materialise everything
+        — that is what the caller asked for.
+        """
+        config = self.config
+        size = config.coreset_size or default_coreset_size(source.num_rows)
+        if config.coreset_strategy == "none" or size >= source.num_rows:
+            return source.table()
+        row_name = unique_name("__arda_row__", set(source.column_names))
+        skeleton = Table(
+            [
+                source.column(target),
+                Column.from_array(
+                    row_name,
+                    np.arange(source.num_rows, dtype=np.float64),
+                    NUMERIC,
+                ),
+            ],
+            name=source.name,
+        )
+        builder = make_coreset_builder(
+            config.coreset_strategy, random_state=config.random_state
+        )
+        reduced = builder.reduce_table(skeleton, size, target=target)
+        indices = reduced.column(row_name).values.astype(np.int64)
+        return source.take(indices)
+
+    def _materialise_kept_streamed(
+        self,
+        source,
+        repository: DataRepository | RepositorySnapshot,
+        kept_specs: list[tuple[JoinCandidate, list[int], list[str]]],
+        executor,
+        augmented_path: str | Path | None,
+    ) -> tuple[Path | None, dict[str, StreamJoinStats]]:
+        """Stream the kept joins over every base chunk into ``augmented_path``.
+
+        Each kept hard join becomes one build-once
+        :class:`~repro.relational.join.StreamingHashJoin`; base chunks are
+        then consumed sequentially, each chunk's zone map is tested against
+        every build side (a chunk that cannot match gets that join's NULL
+        columns without probing), and the kept columns — matched by position
+        within the join's output, renamed to their pinned names, exactly as
+        :func:`~repro.core.join_execution.replay_kept_joins` does — are
+        appended to the chunk before it is written out through
+        :func:`~repro.relational.persist.write_table_stream`.  Concatenating
+        the output chunks equals the in-memory replay on ``source.table()``.
+
+        A kept *soft* join needs global nearest-neighbour context, so its
+        presence falls back to one in-memory replay of the whole base
+        (streamed back out afterwards); hard joins — the common case — keep
+        peak memory at one chunk plus the prepared build sides.
+
+        Returns the written path (``None`` when no path was given) and
+        per-foreign-table pruning stats.
+        """
+        config = self.config
+        stats: dict[str, StreamJoinStats] = {}
+        if augmented_path is None:
+            return None, stats
+        augmented_path = Path(augmented_path)
+        if any(spec[0].is_soft for spec in kept_specs):
+            full = replay_kept_joins(
+                source.table(),
+                repository,
+                kept_specs,
+                soft_strategy=config.soft_join,
+                time_resample=config.time_resample,
+                rng=np.random.default_rng(config.random_state),
+                executor=executor,
+            )
+            write_table_stream(
+                augmented_path,
+                as_chunk_source(full, chunk_rows=config.chunk_rows).iter_chunks(),
+                name=source.name,
+                chunk_rows=config.chunk_rows,
+            )
+            return augmented_path, stats
+
+        schema = source.schema()
+        joiners: list[tuple[StreamingHashJoin, list[int], list[str], str]] = []
+        for candidate, positions, names in kept_specs:
+            foreign = repository.get(candidate.foreign_table)
+            foreign = foreign.prefix_columns(
+                f"{foreign.name}.", exclude=candidate.foreign_columns
+            )
+            joiner = StreamingHashJoin(foreign, candidate.key_pairs(), schema)
+            joiners.append((joiner, positions, names, candidate.foreign_table))
+            table_stats = stats.setdefault(candidate.foreign_table, StreamJoinStats())
+            table_stats.chunks_total += source.num_chunks
+            table_stats.rows_total += source.num_rows
+
+        def augmented_chunks():
+            for index in range(source.num_chunks):
+                chunk = source.chunk(index)
+                zones = source.zones(index)
+                columns = list(chunk.columns())
+                for joiner, positions, names, foreign_name in joiners:
+                    dictionaries = {
+                        key: source.dictionary(key)
+                        for key in joiner.left_keys
+                        if schema.type_of(key) is CATEGORICAL
+                    }
+                    table_stats = stats[foreign_name]
+                    if not joiner.chunk_may_match(zones, dictionaries):
+                        gathered = joiner.null_columns(chunk.num_rows)
+                    else:
+                        match_index = joiner.probe_chunk(chunk)
+                        table_stats.chunks_probed += 1
+                        table_stats.rows_probed += chunk.num_rows
+                        table_stats.rows_matched += int((match_index >= 0).sum())
+                        gathered = joiner.gather(match_index)
+                    for position, name in zip(positions, names):
+                        columns.append(gathered[position].rename(name))
+                yield Table(columns, name=source.name)
+
+        write_table_stream(
+            augmented_path,
+            augmented_chunks(),
+            name=source.name,
+            chunk_rows=config.chunk_rows,
+        )
+        return augmented_path, stats
 
     def _build_coreset(self, base_table: Table, target: str) -> Table:
         config = self.config

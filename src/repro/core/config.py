@@ -101,6 +101,20 @@ class ARDAConfig:
         fanned out over the ``executor`` backend).  ``None`` inherits
         ``n_jobs``; the executor kind is shared with the join engine, and all
         backends produce byte-identical selections.
+    chunk_rows:
+        Row-group target for table files the pipeline writes (repositories it
+        opens via ``repository_dir``, streamed augmented outputs): tables
+        larger than the target are stored chunked with per-chunk zone maps.
+        ``None`` defers to the ``ARDA_CHUNK_ROWS`` environment variable (no
+        chunking when unset); ``0`` forces monolithic files.  Reading is
+        layout-transparent either way.
+    memory_budget:
+        Soft cap, in bytes, on how much chunk data the streaming join engine
+        holds at once: chunks of an out-of-core base table are processed in
+        waves whose summed (page bytes + projected output) estimate stays
+        under the budget.  ``None`` (default) sizes waves at one chunk per
+        worker.  This bounds the pipeline's working set; it never changes
+        results.
     capture_pipeline:
         Capture a servable :class:`~repro.serving.pipeline.FittedPipeline`
         (accepted join plan, fitted encoders/imputers, selected features,
@@ -136,6 +150,8 @@ class ARDAConfig:
     tree_method: str | None = None
     max_bins: int = 255
     selection_n_jobs: int | None = None
+    chunk_rows: int | None = None
+    memory_budget: int | None = None
     capture_pipeline: bool = True
 
     def __post_init__(self):
@@ -161,3 +177,7 @@ class ARDAConfig:
             raise ValueError(f"estimator must be one of {valid_estimators}")
         if self.lru_tables is not None and self.lru_tables < 1:
             raise ValueError("lru_tables must be None or >= 1")
+        if self.chunk_rows is not None and self.chunk_rows < 0:
+            raise ValueError("chunk_rows must be None, 0 (monolithic) or positive")
+        if self.memory_budget is not None and self.memory_budget < 1:
+            raise ValueError("memory_budget must be None or a positive byte count")

@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.relational.table import Table
 
 if TYPE_CHECKING:  # avoid a runtime core <-> serving import cycle
+    from repro.relational.join import StreamJoinStats
     from repro.serving.pipeline import FittedPipeline
 
 
@@ -58,6 +60,12 @@ class AugmentationReport:
     fit_time: float = 0.0
     executor: str = "serial"
     pipeline: "FittedPipeline | None" = None
+    # out-of-core runs only: where the full augmented table was streamed to
+    # (a chunked .tbl file), and per-foreign-table streaming-join accounting
+    # (chunks probed vs pruned).  ``augmented_table`` then holds the coreset
+    # materialisation, and the scores are coreset-level.
+    augmented_path: Path | None = None
+    stream_stats: "dict[str, StreamJoinStats] | None" = None
 
     @property
     def improvement(self) -> float:

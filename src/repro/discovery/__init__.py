@@ -15,7 +15,13 @@ data-discovery system.  This package provides:
 from repro.discovery.candidates import JoinCandidate, KeyPair
 from repro.discovery.discovery import JoinDiscovery
 from repro.discovery.minhash import MinHashSignature, jaccard_estimate
-from repro.discovery.profiles import ColumnProfile, profile_column, profile_table
+from repro.discovery.profiles import (
+    ColumnProfile,
+    ColumnProfileAccumulator,
+    profile_column,
+    profile_table,
+    profile_table_chunks,
+)
 from repro.discovery.repository import DataRepository, ProfileCache, RepositorySnapshot
 
 __all__ = [
@@ -26,8 +32,10 @@ __all__ = [
     "JoinCandidate",
     "KeyPair",
     "ColumnProfile",
+    "ColumnProfileAccumulator",
     "profile_column",
     "profile_table",
+    "profile_table_chunks",
     "MinHashSignature",
     "jaccard_estimate",
 ]

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 
 from repro.discovery.candidates import JoinCandidate, KeyPair
-from repro.discovery.profiles import ColumnProfile, profile_table
+from repro.discovery.profiles import ColumnProfile, profile_table, profile_table_chunks
 from repro.discovery.repository import DataRepository
 from repro.relational.schema import CATEGORICAL, DATETIME
 from repro.relational.table import Table
@@ -81,7 +81,13 @@ class JoinDiscovery:
         base table is always profiled fresh (it changes between pipelines).
         """
         soft_set = set(soft_key_columns or ())
-        base_profiles = profile_table(base, num_hashes=self.num_hashes)
+        if isinstance(base, Table):
+            base_profiles = profile_table(base, num_hashes=self.num_hashes)
+        else:
+            # an out-of-core chunked base profiles chunk-by-chunk with
+            # mergeable states; the resulting profiles (and therefore the
+            # candidate scores) are identical to the in-memory path
+            base_profiles = profile_table_chunks(base, num_hashes=self.num_hashes)
         if target is not None and target in base_profiles:
             del base_profiles[target]
 

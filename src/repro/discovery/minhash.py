@@ -83,6 +83,37 @@ class MinHashSignature:
         signature = np.frombuffer(state["signature"], dtype=np.uint64).copy()
         return cls.from_parts(signature, state["set_size"], state["num_hashes"])
 
+    def merge(self, other: "MinHashSignature") -> "MinHashSignature":
+        """Signature of the union of the two underlying value sets.
+
+        Because every per-function hash is a pure function of the value, the
+        elementwise minimum of two signatures **is** the signature of the
+        union — merging partial signatures built over disjoint chunks is
+        exact.  The stored ``set_size`` of the merge is estimated from the
+        overlap the signatures imply (clamped between the larger input and
+        the sum), since the true union cardinality is not recoverable from
+        signatures alone; chunk-exact profiling
+        (:class:`~repro.discovery.profiles.ColumnProfileAccumulator`) tracks
+        distinct values directly and does not rely on this estimate.
+        """
+        if self.num_hashes != other.num_hashes:
+            raise ValueError("signatures must use the same number of hash functions")
+        if self.set_size == 0:
+            return MinHashSignature.from_parts(
+                other.signature.copy(), other.set_size, other.num_hashes
+            )
+        if other.set_size == 0:
+            return MinHashSignature.from_parts(
+                self.signature.copy(), self.set_size, self.num_hashes
+            )
+        merged = np.minimum(self.signature, other.signature)
+        jaccard = self.jaccard(other)
+        union_estimate = (self.set_size + other.set_size) / (1.0 + jaccard)
+        set_size = int(round(union_estimate))
+        set_size = max(set_size, self.set_size, other.set_size)
+        set_size = min(set_size, self.set_size + other.set_size)
+        return MinHashSignature.from_parts(merged, set_size, self.num_hashes)
+
     def jaccard(self, other: "MinHashSignature") -> float:
         """Estimated Jaccard similarity with another signature."""
         if self.num_hashes != other.num_hashes:

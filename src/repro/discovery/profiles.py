@@ -1,4 +1,16 @@
-"""Column profiling used by join discovery."""
+"""Column profiling used by join discovery.
+
+Profiles can be computed whole-table (:func:`profile_table`) or streamed
+chunk-by-chunk with mergeable partial states
+(:class:`ColumnProfileAccumulator` / :func:`profile_table_chunks`): the
+accumulator merges each chunk's distinct values, null counts and
+first-appearance order into one running state, and ``finish()`` produces a
+:class:`ColumnProfile` **identical** (MinHash signature bytes included) to
+what the monolithic path computes — so a table too large for RAM profiles
+under a chunk-sized memory bound without perturbing discovery scores, and the
+fingerprint-keyed profile cache stores one canonical profile regardless of
+how the table was laid out on disk.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.discovery.minhash import MinHashSignature
-from repro.relational.column import Column
+from repro.relational.column import Column, remap_dictionary
 from repro.relational.schema import CATEGORICAL, ColumnType
 from repro.relational.table import Table
 
@@ -130,3 +142,135 @@ def profile_table(table: Table, num_hashes: int = 64) -> dict[str, ColumnProfile
         col.name: profile_column(table.name, col, num_hashes=num_hashes)
         for col in table.columns()
     }
+
+
+class ColumnProfileAccumulator:
+    """Mergeable partial profiling state for one column, fed chunk-by-chunk.
+
+    ``update`` folds one chunk in; ``finish`` emits a profile equal — field
+    for field, signature bytes included — to :func:`profile_column` over the
+    concatenated column.  Numeric distinct sets merge as sorted unions
+    (``Column.unique`` is sorted for float-backed types); categorical chunks
+    are remapped into one shared code space and ordered by global first
+    appearance, reproducing the full column's first-appearance ``unique()``
+    regardless of how rows were split into chunks.  Peak memory is one
+    chunk plus the running distinct set.
+    """
+
+    def __init__(
+        self,
+        table_name: str,
+        column_name: str,
+        ctype: ColumnType,
+        num_hashes: int = 64,
+        max_minhash_values: int = 2000,
+    ):
+        self.table_name = table_name
+        self.column_name = column_name
+        self.ctype = ctype
+        self.num_hashes = num_hashes
+        self.max_minhash_values = max_minhash_values
+        self.num_rows = 0
+        self.null_count = 0
+        self._distinct: np.ndarray | None = None  # sorted (numeric path)
+        self._dict_index: dict[str, int] = {}  # shared code space (categorical)
+        self._first_row: np.ndarray = np.empty(0, dtype=np.int64)
+
+    def update(self, column: Column, row_start: int | None = None) -> None:
+        """Fold one chunk in.  ``row_start`` is the chunk's global row offset
+        (defaults to the rows accumulated so far, i.e. sequential feeding)."""
+        if column.ctype is not self.ctype:
+            raise ValueError(
+                f"column {self.column_name!r} changed type across chunks "
+                f"({self.ctype.value} vs {column.ctype.value})"
+            )
+        if row_start is None:
+            row_start = self.num_rows
+        self.num_rows += len(column)
+        self.null_count += column.null_count()
+        if self.ctype is CATEGORICAL:
+            translate = remap_dictionary(column.dictionary, self._dict_index)
+            if len(self._first_row) < len(self._dict_index):
+                grown = np.full(len(self._dict_index), -1, dtype=np.int64)
+                grown[: len(self._first_row)] = self._first_row
+                self._first_row = grown
+            codes = translate[column.codes]
+            present = codes[codes >= 0]
+            if not len(present):
+                return
+            distinct, first_seen = np.unique(present, return_index=True)
+            global_first = first_seen + row_start
+            current = self._first_row[distinct]
+            unseen = current < 0
+            self._first_row[distinct[unseen]] = global_first[unseen]
+            improved = ~unseen & (global_first < current)
+            self._first_row[distinct[improved]] = global_first[improved]
+        else:
+            values = column.values
+            chunk_distinct = np.unique(values[~np.isnan(values)])
+            if self._distinct is None:
+                self._distinct = chunk_distinct
+            elif len(chunk_distinct):
+                self._distinct = np.union1d(self._distinct, chunk_distinct)
+
+    def distinct_values(self) -> list:
+        """The merged distinct values, ordered as ``Column.unique`` would."""
+        if self.ctype is CATEGORICAL:
+            dictionary = np.empty(len(self._dict_index), dtype=object)
+            for text, code in self._dict_index.items():
+                dictionary[code] = text
+            seen = np.nonzero(self._first_row >= 0)[0]
+            order = np.argsort(self._first_row[seen], kind="stable")
+            return [dictionary[code] for code in seen[order]]
+        if self._distinct is None:
+            return []
+        return list(self._distinct)
+
+    def finish(self) -> ColumnProfile:
+        """Emit the profile of everything folded in so far."""
+        distinct = self.distinct_values()
+        min_value = max_value = None
+        if self.ctype is not CATEGORICAL and len(distinct):
+            min_value = float(np.min(distinct))
+            max_value = float(np.max(distinct))
+        minhash_values = distinct[: self.max_minhash_values]
+        if self.ctype is not CATEGORICAL:
+            minhash_values = [f"{float(v):.6g}" for v in minhash_values]
+        signature = MinHashSignature(minhash_values, num_hashes=self.num_hashes)
+        return ColumnProfile(
+            table_name=self.table_name,
+            column_name=self.column_name,
+            ctype=self.ctype,
+            num_rows=self.num_rows,
+            num_distinct=len(distinct),
+            null_fraction=self.null_count / self.num_rows if self.num_rows else 0.0,
+            min_value=min_value,
+            max_value=max_value,
+            minhash=signature,
+        )
+
+
+def profile_table_chunks(source, num_hashes: int = 64) -> dict[str, ColumnProfile]:
+    """Profile a chunked source column-by-column without materialising it.
+
+    ``source`` is a :class:`~repro.relational.persist.ChunkedTableReader` (or
+    anything with ``iter_chunks``/``schema``/``name``).  Returns profiles
+    identical to ``profile_table(source.table())`` while holding one chunk at
+    a time.
+    """
+    from repro.relational.join import as_chunk_source
+
+    source = as_chunk_source(source)
+    schema = source.schema()
+    accumulators = {
+        spec.name: ColumnProfileAccumulator(
+            source.name, spec.name, spec.ctype, num_hashes=num_hashes
+        )
+        for spec in schema
+    }
+    row_start = 0
+    for chunk in source.iter_chunks():
+        for name, accumulator in accumulators.items():
+            accumulator.update(chunk.column(name), row_start)
+        row_start += chunk.num_rows
+    return {name: accumulator.finish() for name, accumulator in accumulators.items()}

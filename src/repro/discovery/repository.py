@@ -53,20 +53,25 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
-from repro.discovery.profiles import ColumnProfile, profile_table
+from repro.discovery.profiles import ColumnProfile, profile_table, profile_table_chunks
 from repro.relational.io import read_csv
 from repro.relational.persist import (
+    DEFAULT_STREAM_CHUNK_ROWS,
+    ChunkedTableReader,
     ManifestEntry,
     RepositoryManifest,
     TableFormatError,
     TableHeader,
     atomic_replace,
+    open_chunks,
     read_manifest,
     read_table,
     read_table_header,
+    resolve_chunk_rows,
     table_fingerprint,
     write_manifest,
     write_table,
+    write_table_stream,
 )
 from repro.relational.table import Table
 
@@ -190,6 +195,42 @@ class ProfileCache:
         table = loader()
         actual = table_fingerprint(table)
         profiles = profile_table(table, num_hashes=num_hashes)
+        with self._lock:
+            self._entries[key] = (None, actual, profiles)
+        return profiles
+
+    def get_or_profile_chunked(
+        self,
+        name: str,
+        fingerprint: str,
+        opener: Callable[[], ChunkedTableReader],
+        num_hashes: int = 64,
+    ) -> dict[str, ColumnProfile]:
+        """Fingerprint-validated lookup that streams chunk-by-chunk on a miss.
+
+        The out-of-core sibling of :meth:`get_or_profile_keyed`: a miss opens
+        a chunk reader and profiles it with mergeable per-chunk states
+        (:func:`~repro.discovery.profiles.profile_table_chunks`) instead of
+        materialising the table.  Chunked profiles are identical — signature
+        bytes included — to monolithic ones, and a chunked file stores the
+        same whole-table fingerprint a monolithic layout of the same content
+        would, so the cache holds one canonical entry per table content no
+        matter how the file is laid out or which path computed the profiles.
+
+        As with the keyed path, profiles are stored under the fingerprint the
+        opened file *actually* carries, so racing a concurrent ``replace``
+        can only cause a miss, never a poisoned entry.
+        """
+        key = (name, num_hashes)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[1] == fingerprint:
+                self.hits += 1
+                return entry[2]
+            self.misses += 1
+        reader = opener()
+        actual = reader.header.fingerprint
+        profiles = profile_table_chunks(reader, num_hashes=num_hashes)
         with self._lock:
             self._entries[key] = (None, actual, profiles)
         return profiles
@@ -519,9 +560,18 @@ class RepositorySnapshot:
 
         Keyed by the pinned fingerprint, so a profile computed for this
         generation is never confused with one of a later republication.
+        Multi-chunk tables profile chunk-by-chunk on a miss.
         """
         entry = self._catalog.get(name)
         if entry is not None and name not in self._tables:
+            if entry.header.num_chunks > 1:
+                path, mmap = entry.path, self._repository._mmap
+                return self._repository.profile_cache.get_or_profile_chunked(
+                    name,
+                    entry.header.fingerprint,
+                    opener=lambda: open_chunks(path, mmap=mmap),
+                    num_hashes=num_hashes,
+                )
             return self._repository.profile_cache.get_or_profile_keyed(
                 name,
                 entry.header.fingerprint,
@@ -530,6 +580,28 @@ class RepositorySnapshot:
             )
         return self._repository.profile_cache.get_or_profile(
             self.get(name), num_hashes=num_hashes
+        )
+
+    def open_chunks(self, name: str) -> ChunkedTableReader:
+        """Open one pinned disk-backed table for chunk-at-a-time streaming.
+
+        Resolves against the pinned generation: a table republished (even
+        rechunked) after the snapshot was taken still streams its old bytes.
+        """
+        self._check_live()
+        if name in self._tables:
+            raise ValueError(
+                f"table {name!r} is in-memory; open_chunks needs a disk-backed table "
+                f"(wrap in-memory tables with as_chunk_source)"
+            )
+        entry = self._catalog.get(name)
+        if entry is None:
+            raise KeyError(
+                f"no table named {name!r} in snapshot generation "
+                f"{self._generation}; available: {self.table_names}"
+            )
+        return ChunkedTableReader(
+            entry.path, mmap=self._repository._mmap, header=entry.header
         )
 
     def save_profiles(self, path: str | Path | None = None) -> Path:
@@ -584,6 +656,7 @@ class DataRepository:
         self._manifest_path: Path | None = None
         self._lru_tables: int | None = None
         self._mmap = True
+        self._chunk_rows: int | None = None
         self._generation = 0
         self._write_lock = threading.RLock()
         self._lru_lock = threading.Lock()
@@ -619,8 +692,17 @@ class DataRepository:
         profile_cache: ProfileCache | None = None,
         mmap: bool = True,
         load_profiles: bool = True,
+        chunk_rows: int | None = None,
     ) -> "DataRepository":
         """Open a directory of binary table files as a lazy repository.
+
+        ``chunk_rows`` sets the row-group target for tables staged through
+        this repository (:meth:`add` / :meth:`replace`): tables larger than
+        the target are written chunked with zone maps (see
+        :func:`repro.relational.persist.write_table`).  ``None`` defers to
+        the ``ARDA_CHUNK_ROWS`` environment variable (no chunking when that
+        is unset too); ``0`` forces monolithic files.  Reading is always
+        layout-transparent — both formats load and stream identically.
 
         With a ``_manifest.arda`` present the catalog comes from the last
         committed manifest generation (headers of the referenced files are
@@ -654,6 +736,7 @@ class DataRepository:
         repository._directory = directory
         repository._lru_tables = lru_tables
         repository._mmap = mmap
+        repository._chunk_rows = chunk_rows
         repository._manifest_path = directory / MANIFEST_NAME
 
         # crash debris from a writer killed between its temp-file write and
@@ -849,7 +932,12 @@ class DataRepository:
         """
         fingerprint = table_fingerprint(table)
         path = self._directory / f"{table.name}-{fingerprint[:16]}{TABLE_SUFFIX}"
-        header = write_table(table, path, meta={"staged": True, **(meta or {})})
+        header = write_table(
+            table,
+            path,
+            meta={"staged": True, **(meta or {})},
+            chunk_rows=self._chunk_rows,
+        )
         return _CatalogEntry(path, header)
 
     def _publish(self, new_catalog: dict[str, _CatalogEntry]) -> int:
@@ -1027,10 +1115,20 @@ class DataRepository:
         """Column profiles of one table, served from the profile cache.
 
         For a disk-backed table the lookup is fingerprint-validated against
-        the catalog header, so a cache hit never reads the table body.
+        the catalog header, so a cache hit never reads the table body.  A
+        multi-chunk table profiles chunk-by-chunk on a miss (bounded memory,
+        identical profiles) instead of materialising.
         """
         entry = self._catalog.get(name)
         if entry is not None and name not in self._tables:
+            if entry.header.num_chunks > 1:
+                path, mmap = entry.path, self._mmap
+                return self.profile_cache.get_or_profile_chunked(
+                    name,
+                    entry.header.fingerprint,
+                    opener=lambda: open_chunks(path, mmap=mmap),
+                    num_hashes=num_hashes,
+                )
             return self.profile_cache.get_or_profile_keyed(
                 name,
                 entry.header.fingerprint,
@@ -1038,6 +1136,85 @@ class DataRepository:
                 num_hashes=num_hashes,
             )
         return self.profile_cache.get_or_profile(self.get(name), num_hashes=num_hashes)
+
+    def open_chunks(self, name: str) -> ChunkedTableReader:
+        """Open one disk-backed table for chunk-at-a-time streaming.
+
+        Returns a :class:`~repro.relational.persist.ChunkedTableReader` over
+        the table's current file — a monolithic file presents as one implicit
+        chunk, so callers stream both layouts with one code path.  In-memory
+        tables have no backing file; wrap them with
+        :func:`repro.relational.join.as_chunk_source` instead.
+        """
+        if name in self._tables:
+            raise ValueError(
+                f"table {name!r} is in-memory; open_chunks needs a disk-backed table "
+                f"(wrap in-memory tables with as_chunk_source)"
+            )
+        entry = self._catalog.get(name)
+        if entry is None:
+            raise KeyError(
+                f"no table named {name!r} in repository; available: {self.table_names}"
+            )
+        return open_chunks(entry.path, mmap=self._mmap)
+
+    def rechunk(self, name: str, chunk_rows: int | None = None) -> int:
+        """Rewrite one table's file to a new row-group layout; content unchanged.
+
+        ``chunk_rows`` follows :func:`repro.relational.persist.resolve_chunk_rows`
+        semantics: an explicit target splits the table into row groups of that
+        size, ``0`` rewrites to a monolithic version-1 file, ``None`` defers
+        to ``ARDA_CHUNK_ROWS`` (falling back to the streaming default).  The
+        rewrite streams chunk-to-chunk (bounded memory), goes through the same
+        staged-publish protocol as :meth:`replace` — the new layout is staged
+        under a layout-tagged content-addressed name, published as the next
+        manifest generation, and the old file garbage-collected once
+        unpinned — so concurrent snapshots keep reading the old bytes.  The
+        content fingerprint is invariant under rechunking, so cached profiles
+        and LRU entries stay valid.  Returns the published generation.
+        """
+        if self._directory is None:
+            raise ValueError("rechunk requires a disk-backed repository")
+        entry = self._catalog.get(name)
+        if entry is None:
+            raise KeyError(
+                f"no disk-backed table named {name!r}; catalogued: {list(self._catalog)}"
+            )
+        resolved = resolve_chunk_rows(chunk_rows)
+        if resolved is None and chunk_rows != 0:
+            resolved = DEFAULT_STREAM_CHUNK_ROWS
+        fingerprint = entry.header.fingerprint
+        tag = "m" if chunk_rows == 0 else f"r{resolved}"
+        path = self._directory / f"{name}-{fingerprint[:16]}.{tag}{TABLE_SUFFIX}"
+        meta = dict(entry.header.meta or {})
+        meta["staged"] = True
+        reader = open_chunks(entry.path, mmap=self._mmap)
+        if chunk_rows == 0:
+            header = write_table(reader.table(), path, meta=meta, chunk_rows=0)
+        else:
+            header = write_table_stream(
+                path, reader.iter_chunks(), name=name, chunk_rows=resolved, meta=meta
+            )
+        if header.fingerprint != fingerprint:
+            _unlink_quietly(path)
+            raise TableFormatError(
+                f"rechunk of {name!r} changed the content fingerprint "
+                f"({fingerprint} -> {header.fingerprint}); original kept"
+            )
+        new_entry = _CatalogEntry(path, header)
+        with self._write_lock:
+            if self._catalog.get(name) is not entry:
+                # lost a race to a concurrent replace/remove: the new content
+                # supersedes our relayout, so drop the staged file
+                self._pending_gc.add(path)
+                self._collect_garbage()
+                raise RuntimeError(
+                    f"table {name!r} was republished during rechunk; rerun against "
+                    f"the new generation"
+                )
+            new_catalog = dict(self._catalog)
+            new_catalog[name] = new_entry
+            return self._publish(new_catalog)
 
     def __contains__(self, name: str) -> bool:
         return name in self._tables or name in self._catalog
@@ -1063,8 +1240,12 @@ class DataRepository:
         ingest: str | Path | None = None,
         lru_tables: int | None = 16,
         mmap: bool = True,
+        chunk_rows: int | None = None,
     ) -> "DataRepository":
         """Load every ``*.csv`` file in a directory as a repository table.
+
+        ``chunk_rows`` (ingest mode only) sets the row-group target for the
+        ingested table files, as in :meth:`open`.
 
         Without ``ingest`` this decodes every CSV into memory (the original
         behaviour).  With ``ingest`` set to a directory, each CSV is converted
@@ -1086,7 +1267,9 @@ class DataRepository:
             return repository
         ingest_dir = Path(ingest)
         ingest_dir.mkdir(parents=True, exist_ok=True)
-        repository = cls.open(ingest_dir, lru_tables=lru_tables, mmap=mmap)
+        repository = cls.open(
+            ingest_dir, lru_tables=lru_tables, mmap=mmap, chunk_rows=chunk_rows
+        )
         stems = set()
         for path in sorted(directory.glob("*.csv")):
             stems.add(path.stem)

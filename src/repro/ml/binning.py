@@ -65,6 +65,21 @@ def check_max_bins(max_bins: int) -> int:
     return max_bins
 
 
+def _sanitise(values: np.ndarray) -> np.ndarray:
+    """Map non-finite entries to 0.0, matching the float design matrix."""
+    return np.nan_to_num(
+        np.asarray(values, dtype=np.float64), nan=0.0, posinf=0.0, neginf=0.0
+    )
+
+
+def _cuts_from(distinct: np.ndarray, values: np.ndarray, max_bins: int) -> np.ndarray:
+    """Cut points for one feature: singleton midpoints or empirical quantiles."""
+    if len(distinct) <= max_bins:
+        return (distinct[:-1] + distinct[1:]) / 2.0
+    quantiles = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
+    return np.unique(np.quantile(values, quantiles))
+
+
 def bin_column(values: np.ndarray, max_bins: int = DEFAULT_MAX_BINS):
     """Quantise one float feature into ``(codes, bin_min, bin_max)``.
 
@@ -72,21 +87,37 @@ def bin_column(values: np.ndarray, max_bins: int = DEFAULT_MAX_BINS):
     :func:`repro.relational.encoding.encode_features` does to the float design
     matrix, so binning a matrix and binning its columns agree.
     """
-    values = np.nan_to_num(
-        np.asarray(values, dtype=np.float64), nan=0.0, posinf=0.0, neginf=0.0
-    )
+    values = _sanitise(values)
     distinct = np.unique(values)
     if len(distinct) == 0:  # zero rows: one empty bin so downstream shapes hold
         nan = np.array([np.nan])
         return np.zeros(0, dtype=np.uint8), nan, nan
-    if len(distinct) <= max_bins:
-        cuts = (distinct[:-1] + distinct[1:]) / 2.0
-    else:
-        quantiles = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
-        cuts = np.unique(np.quantile(values, quantiles))
+    cuts = _cuts_from(distinct, values, max_bins)
     codes = np.searchsorted(cuts, values, side="left").astype(np.uint8)
     bin_min, bin_max = bin_value_ranges(distinct, cuts)
     return codes, bin_min, bin_max
+
+
+def learn_bin_cuts(values: np.ndarray, max_bins: int = DEFAULT_MAX_BINS) -> np.ndarray:
+    """Learn one feature's cut points without encoding anything.
+
+    Separating cut learning from encoding is what makes out-of-core binning
+    possible: cuts are learned once from a sample (or from everything, when it
+    fits), then each chunk is encoded independently with
+    :func:`apply_bin_cuts`.  ``learn_bin_cuts`` over the full feature followed
+    by ``apply_bin_cuts`` reproduces :func:`bin_column`'s codes exactly.
+    """
+    values = _sanitise(values)
+    distinct = np.unique(values)
+    if len(distinct) == 0:
+        return np.empty(0, dtype=np.float64)
+    return _cuts_from(distinct, values, max_bins)
+
+
+def apply_bin_cuts(values: np.ndarray, cuts: np.ndarray) -> np.ndarray:
+    """Encode one feature chunk against already-learned cut points."""
+    values = _sanitise(values)
+    return np.searchsorted(cuts, values, side="left").astype(np.uint8)
 
 
 def bin_value_ranges(distinct: np.ndarray, cuts: np.ndarray):
@@ -158,6 +189,79 @@ class BinnedMatrix:
             codes[:, j] = column_codes
             bin_min.append(column_min)
             bin_max.append(column_max)
+        return cls(codes, bin_min, bin_max, max_bins, feature_names, source_columns)
+
+    @classmethod
+    def from_chunks(
+        cls,
+        chunks,
+        max_bins: int = DEFAULT_MAX_BINS,
+        sample_rows: int | None = 65_536,
+        feature_names: list[str] | None = None,
+        source_columns: list[str] | None = None,
+    ) -> "BinnedMatrix":
+        """Quantise a design matrix delivered as an iterable of row chunks.
+
+        Cut points are learned from the first ``sample_rows`` rows (buffered,
+        then released), after which every chunk — the buffered sample
+        included — is encoded against the fixed cuts and only its ``uint8``
+        codes are kept, so the float matrix never materialises whole.  Per-bin
+        value ranges (``bin_min``/``bin_max``) are still exact over *all*
+        rows, streamed with running min/max per bin.  With ``sample_rows=None``
+        (or a sample covering every row) the result is identical to
+        :meth:`from_matrix`; a smaller sample trades cut fidelity on
+        high-cardinality features for bounded memory, which shifts bin
+        boundaries but never row routing consistency (every chunk is encoded
+        with the same cuts).
+        """
+        max_bins = check_max_bins(max_bins)
+        iterator = iter(chunks)
+        buffered: list[np.ndarray] = []
+        buffered_rows = 0
+        for chunk in iterator:
+            X = np.asarray(chunk, dtype=np.float64)
+            if X.ndim != 2:
+                raise ValueError(f"chunks must be 2-dimensional, got shape {X.shape}")
+            buffered.append(X)
+            buffered_rows += X.shape[0]
+            if sample_rows is not None and buffered_rows >= sample_rows:
+                break
+        if not buffered:
+            raise ValueError("from_chunks requires at least one chunk")
+        sample = np.vstack(buffered) if len(buffered) > 1 else buffered[0]
+        d = sample.shape[1]
+        cuts = [learn_bin_cuts(sample[:, j], max_bins) for j in range(d)]
+        n_bins = [len(c) + 1 for c in cuts]
+        running_min = [np.full(nb, np.inf) for nb in n_bins]
+        running_max = [np.full(nb, -np.inf) for nb in n_bins]
+        code_parts: list[np.ndarray] = []
+
+        def encode(X: np.ndarray) -> None:
+            part = np.empty(X.shape, dtype=np.uint8)
+            for j in range(d):
+                values = _sanitise(X[:, j])
+                column_codes = np.searchsorted(cuts[j], values, side="left")
+                part[:, j] = column_codes.astype(np.uint8)
+                np.minimum.at(running_min[j], column_codes, values)
+                np.maximum.at(running_max[j], column_codes, values)
+            code_parts.append(part)
+
+        encode(sample)
+        buffered = []  # release the float sample before streaming the rest
+        for chunk in iterator:
+            X = np.asarray(chunk, dtype=np.float64)
+            if X.ndim != 2 or X.shape[1] != d:
+                raise ValueError(
+                    f"chunk shape {X.shape} does not match {d} features"
+                )
+            encode(X)
+        bin_min = [np.where(np.isfinite(m), m, np.nan) for m in running_min]
+        bin_max = [np.where(np.isfinite(m), m, np.nan) for m in running_max]
+        codes = (
+            np.asfortranarray(np.vstack(code_parts))
+            if len(code_parts) > 1
+            else np.asfortranarray(code_parts[0])
+        )
         return cls(codes, bin_min, bin_max, max_bins, feature_names, source_columns)
 
     # -- shape protocol --------------------------------------------------------

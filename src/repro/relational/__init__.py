@@ -6,7 +6,10 @@ with a small, typed, numpy-backed relational engine.  It provides:
 * :class:`~repro.relational.column.Column` — a typed, nullable column.
 * :class:`~repro.relational.table.Table` — an ordered collection of equal
   length columns with selection, filtering, sorting and group-by support.
-* Hash LEFT joins on single and composite keys (:mod:`repro.relational.join`).
+* Hash LEFT joins on single and composite keys, plus streaming zone-map-pruned
+  joins over row-group chunked files (:mod:`repro.relational.join`).
+* Binary columnar persistence with optional row-group chunking for
+  out-of-core tables (:mod:`repro.relational.persist`).
 * Soft joins (nearest-neighbour and two-way nearest-neighbour interpolation)
   for keys such as timestamps that do not align exactly
   (:mod:`repro.relational.soft_join`).
@@ -26,7 +29,15 @@ from repro.relational.schema import (
     Schema,
 )
 from repro.relational.table import Table
-from repro.relational.join import left_join
+from repro.relational.join import (
+    StreamingHashJoin,
+    StreamJoinStats,
+    as_chunk_source,
+    iter_streaming_left_join,
+    left_join,
+    streaming_left_join,
+    streaming_match_fraction,
+)
 from repro.relational.soft_join import (
     nearest_join,
     two_way_nearest_join,
@@ -43,17 +54,27 @@ from repro.relational.encoding import (
 )
 from repro.relational.io import read_csv, write_csv
 from repro.relational.persist import (
+    CHUNK_ROWS_ENV,
+    DEFAULT_STREAM_CHUNK_ROWS,
+    ChunkedTableReader,
+    ChunkMeta,
     ManifestEntry,
     ManifestFormatError,
     RepositoryManifest,
     TableFormatError,
     TableHeader,
+    bytes_read,
+    bytes_read_detail,
+    open_chunks,
     read_manifest,
     read_table,
     read_table_header,
+    reset_bytes_read,
+    resolve_chunk_rows,
     table_fingerprint,
     write_manifest,
     write_table,
+    write_table_stream,
 )
 
 __all__ = [
@@ -66,6 +87,12 @@ __all__ = [
     "BOOLEAN",
     "Table",
     "left_join",
+    "streaming_left_join",
+    "iter_streaming_left_join",
+    "streaming_match_fraction",
+    "as_chunk_source",
+    "StreamingHashJoin",
+    "StreamJoinStats",
     "nearest_join",
     "two_way_nearest_join",
     "resample_to_granularity",
@@ -81,6 +108,16 @@ __all__ = [
     "write_csv",
     "read_table",
     "write_table",
+    "write_table_stream",
+    "open_chunks",
+    "ChunkedTableReader",
+    "ChunkMeta",
+    "resolve_chunk_rows",
+    "DEFAULT_STREAM_CHUNK_ROWS",
+    "CHUNK_ROWS_ENV",
+    "bytes_read",
+    "bytes_read_detail",
+    "reset_bytes_read",
     "read_table_header",
     "table_fingerprint",
     "TableHeader",

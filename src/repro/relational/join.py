@@ -1,19 +1,35 @@
-"""Hash LEFT joins on hard keys.
+"""Hash LEFT joins on hard keys, in-memory and streaming.
 
 Only LEFT joins are implemented because they are the only join type suitable
 for data augmentation: every base-table row (training example) is preserved and
 unmatched rows get NULLs, which are later imputed (paper section 4, "Joins").
+
+Besides the whole-table :func:`left_join`, this module provides the
+out-of-core path: :class:`StreamingHashJoin` prepares the (small) build side
+once — pre-aggregation, output naming, per-key value ranges — and probes the
+(large) base table one row group at a time through a
+:class:`~repro.relational.persist.ChunkedTableReader`.  Chunks whose zone map
+cannot intersect the build side's key range are **pruned**: their probe and
+gather are skipped entirely and they contribute all-NULL augmented columns,
+which is exactly what the full probe would have produced (a LEFT join keeps
+every base row, so pruning a chunk removes work, never rows).  Because each
+chunk is probed with the same kernels as the in-memory join and the outputs
+are concatenated in chunk order, :func:`streaming_left_join` is equivalent to
+``left_join`` row for row, while peak memory stays bounded by a chunk wave
+(``memory_budget``) instead of the base table.  Independent chunks of one
+join fan out across any :class:`~repro.core.executor.JoinExecutor` backend.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.relational.aggregate import group_by_aggregate, is_unique_on
 from repro.relational.column import Column, remap_dictionary
-from repro.relational.schema import CATEGORICAL
+from repro.relational.schema import CATEGORICAL, Schema
 from repro.relational.table import Table, unique_name
 
 
@@ -177,13 +193,9 @@ def left_join(
     right_keys = [pair[1] for pair in on]
     for key in left_keys:
         left.column(key)
-    for key in right_keys:
-        right.column(key)
-
-    if aggregate_duplicates and right.num_rows and not is_unique_on(right, right_keys):
-        right = group_by_aggregate(
-            right, right_keys, numeric_agg=numeric_agg, categorical_agg=categorical_agg
-        )
+    right = _prepare_right(
+        right, right_keys, aggregate_duplicates, numeric_agg, categorical_agg
+    )
 
     right_key_columns = [right.column(k) for k in right_keys]
     left_key_columns = [left.column(k) for k in left_keys]
@@ -191,15 +203,48 @@ def left_join(
     matched = match_index >= 0
 
     out_columns = list(left.columns())
-    existing = set(left.column_names)
+    for right_name, out_name in _output_names(right, right_keys, left.column_names, suffix):
+        out_columns.append(
+            _gather_right_column(right.column(right_name), out_name, match_index, matched)
+        )
+    return Table(out_columns, name=left.name)
+
+
+def _prepare_right(
+    right: Table,
+    right_keys: Sequence[str],
+    aggregate_duplicates: bool,
+    numeric_agg: str,
+    categorical_agg: str,
+) -> Table:
+    """Validate and (if needed) pre-aggregate the build side of a LEFT join."""
+    for key in right_keys:
+        right.column(key)
+    if aggregate_duplicates and right.num_rows and not is_unique_on(right, right_keys):
+        right = group_by_aggregate(
+            right, right_keys, numeric_agg=numeric_agg, categorical_agg=categorical_agg
+        )
+    return right
+
+
+def _output_names(
+    right: Table,
+    right_keys: Sequence[str],
+    left_names: Sequence[str],
+    suffix: str,
+) -> list[tuple[str, str]]:
+    """``(right column, output name)`` pairs, exactly as ``left_join`` assigns
+    them: right key columns are dropped, clashes get ``suffix`` appended."""
+    existing = set(left_names)
     right_key_set = set(right_keys)
+    out: list[tuple[str, str]] = []
     for col in right.columns():
         if col.name in right_key_set:
             continue
         name = unique_name(col.name, existing, suffix)
         existing.add(name)
-        out_columns.append(_gather_right_column(col, name, match_index, matched))
-    return Table(out_columns, name=left.name)
+        out.append((col.name, name))
+    return out
 
 
 def _gather_right_column(
@@ -236,3 +281,511 @@ def join_match_fraction(
         [right.column(pair[1]) for pair in on],
     )
     return float(np.mean(match_index >= 0))
+
+
+# -- streaming, pruned, chunk-parallel join -----------------------------------
+
+
+@dataclass
+class StreamJoinStats:
+    """Pruning and coverage accounting of one streaming join.
+
+    ``chunks_probed`` counts row groups whose key pages were actually read and
+    probed against the build side; the remaining ``chunks_pruned`` were
+    skipped on zone-map evidence alone (header bytes, no page reads) and
+    contributed all-NULL augmented columns without any probe or gather work.
+    """
+
+    chunks_total: int = 0
+    chunks_probed: int = 0
+    rows_total: int = 0
+    rows_probed: int = 0
+    rows_matched: int = 0
+
+    @property
+    def chunks_pruned(self) -> int:
+        return self.chunks_total - self.chunks_probed
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of chunks skipped by zone-map pruning (0.0 when unknown)."""
+        if not self.chunks_total:
+            return 0.0
+        return self.chunks_pruned / self.chunks_total
+
+    def merge(self, other: "StreamJoinStats") -> "StreamJoinStats":
+        """Elementwise sum — used to aggregate stats across several joins."""
+        return StreamJoinStats(
+            chunks_total=self.chunks_total + other.chunks_total,
+            chunks_probed=self.chunks_probed + other.chunks_probed,
+            rows_total=self.rows_total + other.rows_total,
+            rows_probed=self.rows_probed + other.rows_probed,
+            rows_matched=self.rows_matched + other.rows_matched,
+        )
+
+
+class _TableChunkSource:
+    """Adapt an in-memory :class:`Table` to the chunk-source protocol.
+
+    Lets every streaming consumer treat "a table already in RAM" as a
+    single-chunk (or, with ``chunk_rows``, evenly sliced) source with no zone
+    maps — in-memory sources are never pruned, matching the semantics of a
+    monolithic version-1 file.
+    """
+
+    def __init__(self, table: Table, chunk_rows: int | None = None):
+        self._table = table
+        n = table.num_rows
+        if chunk_rows is None or chunk_rows <= 0 or chunk_rows >= n:
+            self._bounds = [(0, n)]
+        else:
+            self._bounds = [
+                (start, min(start + chunk_rows, n)) for start in range(0, n, chunk_rows)
+            ]
+        self.has_zones = False
+
+    @property
+    def name(self) -> str:
+        return self._table.name
+
+    @property
+    def num_rows(self) -> int:
+        return self._table.num_rows
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self._bounds)
+
+    @property
+    def column_names(self) -> list[str]:
+        return self._table.column_names
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._table.column_names
+
+    def schema(self) -> Schema:
+        return self._table.schema()
+
+    def zones(self, index: int):
+        return None
+
+    def chunk_row_range(self, index: int) -> tuple[int, int]:
+        return self._bounds[index]
+
+    def chunk_nbytes(self, index: int) -> int:
+        start, stop = self._bounds[index]
+        return (stop - start) * 8 * max(1, len(self._table.column_names))
+
+    def chunk(self, index: int, columns: Sequence[str] | None = None) -> Table:
+        start, stop = self._bounds[index]
+        part = self._table if (start, stop) == (0, self.num_rows) else self._table.take(
+            np.arange(start, stop)
+        )
+        return part.select(list(columns)) if columns is not None else part
+
+    def iter_chunks(self, columns: Sequence[str] | None = None) -> Iterator[Table]:
+        for index in range(self.num_chunks):
+            yield self.chunk(index, columns)
+
+    def table(self) -> Table:
+        return self._table
+
+    def column(self, name: str) -> Column:
+        return self._table.column(name)
+
+    def take(self, indices) -> Table:
+        return self._table.take(indices)
+
+    def dictionary(self, name: str) -> np.ndarray:
+        return self._table.column(name).dictionary
+
+
+def as_chunk_source(source, chunk_rows: int | None = None):
+    """Coerce a join/profiling source to the chunk protocol.
+
+    Accepts a :class:`~repro.relational.persist.ChunkedTableReader` (returned
+    unchanged), or an in-memory :class:`Table` (wrapped so it presents as an
+    unpruned chunk sequence).
+    """
+    if isinstance(source, Table):
+        return _TableChunkSource(source, chunk_rows)
+    if hasattr(source, "iter_chunks"):
+        return source
+    raise TypeError(
+        f"expected a Table or a chunked table reader, got {type(source).__name__}"
+    )
+
+
+@dataclass
+class StreamingHashJoin:
+    """Build-once probe-many LEFT join against one prepared right table.
+
+    The constructor does all the per-join work that must happen exactly once:
+    right-side validation and pre-aggregation, output-column naming against
+    the left schema (identical to :func:`left_join`'s assignment), and the
+    build side's per-key value ranges used for zone-map pruning.  Each
+    :meth:`probe_chunk` / :meth:`join_chunk` call then handles one base chunk
+    independently — the object is picklable, so chunks can fan out across
+    process pools with the build side shipped once per worker.
+    """
+
+    right: Table
+    on: Sequence[tuple[str, str]]
+    left_schema: Schema
+    suffix: str = "_r"
+    aggregate_duplicates: bool = True
+    numeric_agg: str = "mean"
+    categorical_agg: str = "mode"
+    output: list[tuple[str, str]] = field(init=False)
+
+    def __post_init__(self):
+        if not self.on:
+            raise ValueError("StreamingHashJoin requires at least one key pair")
+        self.on = [(left, right) for left, right in self.on]
+        self.left_keys = [pair[0] for pair in self.on]
+        self.right_keys = [pair[1] for pair in self.on]
+        for key in self.left_keys:
+            if key not in self.left_schema:
+                raise KeyError(f"left source has no key column {key!r}")
+        self.right = _prepare_right(
+            self.right,
+            self.right_keys,
+            self.aggregate_duplicates,
+            self.numeric_agg,
+            self.categorical_agg,
+        )
+        self.right_key_columns = [self.right.column(k) for k in self.right_keys]
+        self.output = _output_names(
+            self.right, self.right_keys, self.left_schema.names, self.suffix
+        )
+        # build-side key ranges for zone pruning: numeric keys keep (min, max)
+        # over valid values; categorical keys keep their distinct strings (a
+        # chunk's code zone is translated through the base dictionary at prune
+        # time).  An empty range means no base row can ever match.
+        self._ranges: list[tuple] = []
+        for rcol in self.right_key_columns:
+            if rcol.ctype is CATEGORICAL:
+                codes = rcol.codes
+                present = np.unique(codes[codes >= 0])
+                self._ranges.append(("cat", [rcol.dictionary[c] for c in present]))
+            else:
+                values = rcol.values
+                valid = values[~np.isnan(values)]
+                if len(valid):
+                    self._ranges.append(("num", float(valid.min()), float(valid.max())))
+                else:
+                    self._ranges.append(("num-empty",))
+        self._base_code_cache: dict[str, np.ndarray] = {}
+
+    @property
+    def output_names(self) -> list[str]:
+        """Names of the augmented columns this join adds, in output order."""
+        return [name for _right_name, name in self.output]
+
+    # -- zone pruning ----------------------------------------------------------
+
+    def chunk_may_match(self, zones, dictionaries) -> bool:
+        """Whether any row of a chunk with these zones can match the build side.
+
+        ``zones`` is the chunk's per-column ``(min, max)`` map (``None`` when
+        the source carries no zone map — never prune then); ``dictionaries``
+        maps categorical left-key names to the source's file-level dictionary.
+        Conservative by construction: ``True`` on any uncertainty.
+        """
+        if zones is None:
+            return True
+        for (left_key, _right_key), rng in zip(self.on, self._ranges):
+            zone = zones.get(left_key)
+            if zone is None:
+                # the chunk holds no valid value for this key: no row matches
+                return False
+            left_is_cat = self.left_schema.type_of(left_key) is CATEGORICAL
+            if left_is_cat != (rng[0] == "cat"):
+                return False  # categorical never equals numeric
+            if rng[0] == "num-empty":
+                return False
+            lo, hi = zone
+            if rng[0] == "num":
+                if lo > rng[2] or hi < rng[1]:
+                    return False
+            else:
+                base_codes = self._base_key_codes(left_key, dictionaries[left_key])
+                if not len(base_codes):
+                    return False
+                pos = int(np.searchsorted(base_codes, lo))
+                if pos >= len(base_codes) or base_codes[pos] > hi:
+                    return False
+        return True
+
+    def _base_key_codes(self, left_key: str, dictionary: np.ndarray) -> np.ndarray:
+        """Sorted base-dictionary codes of the build side's key values."""
+        cached = self._base_code_cache.get(left_key)
+        if cached is None:
+            rng = self._ranges[self.left_keys.index(left_key)]
+            index = {text: code for code, text in enumerate(dictionary)}
+            codes = [index[text] for text in rng[1] if text in index]
+            cached = np.sort(np.asarray(codes, dtype=np.int64))
+            self._base_code_cache[left_key] = cached
+        return cached
+
+    # -- per-chunk kernels -----------------------------------------------------
+
+    def probe_chunk(self, chunk: Table) -> np.ndarray:
+        """First-match index into the prepared right table for each chunk row."""
+        left_key_columns = [chunk.column(k) for k in self.left_keys]
+        return _match_first_occurrence(left_key_columns, self.right_key_columns)
+
+    def gather(self, match_index: np.ndarray) -> list[Column]:
+        """The augmented columns for one probed chunk, in output order."""
+        matched = match_index >= 0
+        return [
+            _gather_right_column(self.right.column(right_name), name, match_index, matched)
+            for right_name, name in self.output
+        ]
+
+    def null_columns(self, num_rows: int) -> list[Column]:
+        """The augmented columns of a pruned chunk: all NULL, same schema.
+
+        Identical to what :meth:`gather` returns for a chunk with no matches
+        (categoricals keep the right table's dictionary), so pruned and probed
+        chunks concatenate into exactly the unpruned result.
+        """
+        match_index = np.full(num_rows, -1, dtype=np.int64)
+        return self.gather(match_index)
+
+    def join_chunk(self, chunk: Table, pruned: bool = False) -> Table:
+        """One chunk's slice of the full LEFT-join output."""
+        if pruned:
+            gathered = self.null_columns(chunk.num_rows)
+        else:
+            gathered = self.gather(self.probe_chunk(chunk))
+        return Table(list(chunk.columns()) + gathered, name=chunk.name)
+
+
+# per-process reader cache for chunk-parallel probing on the process backend
+# (thread/serial backends share the source directly and never touch this)
+_WORKER_SOURCES: dict = {}
+
+
+def _resolve_worker_source(source_ref):
+    if not isinstance(source_ref, tuple) or source_ref[0] != "file":
+        return source_ref
+    _tag, path, mmap = source_ref
+    key = (path, mmap)
+    reader = _WORKER_SOURCES.get(key)
+    if reader is None:
+        from repro.relational.persist import open_chunks
+
+        reader = open_chunks(path, mmap=mmap)
+        _WORKER_SOURCES[key] = reader
+    return reader
+
+
+def _probe_chunk_task(shared, index: int):
+    """Executor task: probe + gather one chunk, returning its augmented columns."""
+    joiner, source_ref = shared
+    source = _resolve_worker_source(source_ref)
+    chunk = source.chunk(index, columns=joiner.left_keys)
+    match_index = joiner.probe_chunk(chunk)
+    return int((match_index >= 0).sum()), joiner.gather(match_index)
+
+
+def _source_ref(source):
+    """A picklable handle for executor workers (file-backed sources reopen)."""
+    path = getattr(source, "path", None)
+    if path is not None:
+        return ("file", str(path), getattr(source, "_mmap", True))
+    return source
+
+
+def _chunk_waves(
+    indices: Sequence[int], costs: Sequence[int], memory_budget: int | None
+) -> list[list[int]]:
+    """Group chunk indices into waves whose summed cost fits the budget.
+
+    Order is preserved and every wave holds at least one chunk, so a budget
+    smaller than a single chunk degrades to chunk-at-a-time streaming rather
+    than failing.
+    """
+    if memory_budget is None or memory_budget <= 0:
+        return [list(indices)] if indices else []
+    waves: list[list[int]] = []
+    current: list[int] = []
+    current_cost = 0
+    for index, cost in zip(indices, costs):
+        if current and current_cost + cost > memory_budget:
+            waves.append(current)
+            current = []
+            current_cost = 0
+        current.append(index)
+        current_cost += cost
+    if current:
+        waves.append(current)
+    return waves
+
+
+def iter_streaming_left_join(
+    source,
+    right: Table,
+    on: Sequence[tuple[str, str]],
+    suffix: str = "_r",
+    aggregate_duplicates: bool = True,
+    numeric_agg: str = "mean",
+    categorical_agg: str = "mode",
+    executor=None,
+    memory_budget: int | None = None,
+    prune: bool = True,
+    stats: StreamJoinStats | None = None,
+) -> Iterator[Table]:
+    """Yield the LEFT join of ``source`` (chunked) against ``right``, one
+    output chunk at a time in base order.
+
+    ``source`` is a :class:`~repro.relational.persist.ChunkedTableReader` or a
+    :class:`Table`.  The build side is prepared once; each base chunk is then
+    probed independently — skipped entirely when its zone map cannot intersect
+    the build side's key range (``prune``) — and chunks are dispatched in
+    waves whose estimated working set fits ``memory_budget`` bytes, fanned out
+    over ``executor`` (any :class:`~repro.core.executor.JoinExecutor`).
+    Concatenating the yielded chunks reproduces ``left_join(source.table(),
+    right, on)`` row for row; pass ``stats`` to collect pruning accounting.
+    """
+    source = as_chunk_source(source)
+    joiner = StreamingHashJoin(
+        right,
+        on,
+        source.schema(),
+        suffix=suffix,
+        aggregate_duplicates=aggregate_duplicates,
+        numeric_agg=numeric_agg,
+        categorical_agg=categorical_agg,
+    )
+    if stats is None:
+        stats = StreamJoinStats()
+    stats.chunks_total += source.num_chunks
+    stats.rows_total += source.num_rows
+
+    cat_keys = [
+        key for key in joiner.left_keys
+        if source.schema().type_of(key) is CATEGORICAL
+    ]
+    pruned: list[bool] = []
+    for index in range(source.num_chunks):
+        zones = source.zones(index) if prune else None
+        dictionaries = {key: source.dictionary(key) for key in cat_keys}
+        pruned.append(not joiner.chunk_may_match(zones, dictionaries))
+
+    extra_row_bytes = 8 * (len(joiner.output) + 2 * len(joiner.on))
+    costs = []
+    for index in range(source.num_chunks):
+        start, stop = source.chunk_row_range(index)
+        rows = stop - start
+        costs.append(source.chunk_nbytes(index) + rows * extra_row_bytes)
+    waves = _chunk_waves(list(range(source.num_chunks)), costs, memory_budget)
+
+    use_pool = executor is not None and getattr(executor, "n_jobs", 1) > 1
+    shared = (joiner, _source_ref(source)) if use_pool else None
+    for wave in waves:
+        gathered: dict[int, list[Column]] = {}
+        to_probe = [index for index in wave if not pruned[index]]
+        if use_pool and len(to_probe) > 1:
+            results = executor.map_with_shared(_probe_chunk_task, shared, to_probe)
+            for index, (matched, columns) in zip(to_probe, results):
+                stats.rows_matched += matched
+                gathered[index] = columns
+        for index in wave:
+            start, stop = source.chunk_row_range(index)
+            rows = stop - start
+            chunk = source.chunk(index)
+            if pruned[index]:
+                columns = joiner.null_columns(rows)
+            elif index in gathered:
+                columns = gathered[index]
+            else:
+                match_index = joiner.probe_chunk(chunk)
+                stats.rows_matched += int((match_index >= 0).sum())
+                columns = joiner.gather(match_index)
+            if not pruned[index]:
+                stats.chunks_probed += 1
+                stats.rows_probed += rows
+            yield Table(list(chunk.columns()) + columns, name=source.name)
+
+
+def streaming_left_join(
+    source,
+    right: Table,
+    on: Sequence[tuple[str, str]],
+    suffix: str = "_r",
+    aggregate_duplicates: bool = True,
+    numeric_agg: str = "mean",
+    categorical_agg: str = "mode",
+    executor=None,
+    memory_budget: int | None = None,
+    prune: bool = True,
+) -> tuple[Table, StreamJoinStats]:
+    """LEFT-join a chunked source against ``right``, materialising the result.
+
+    Equivalent to ``left_join(source.table(), right, on)`` — the same probe
+    and gather kernels run per chunk and concatenate in chunk order — but the
+    build side is prepared once, chunks stream under ``memory_budget``, and
+    zone-map pruning skips chunks that cannot match.  Returns the joined
+    table plus the pruning stats.  (The output itself is in memory; use
+    :func:`repro.relational.persist.write_table_stream` over
+    :func:`iter_streaming_left_join` to keep the result out-of-core.)
+    """
+    stats = StreamJoinStats()
+    parts = list(
+        iter_streaming_left_join(
+            source,
+            right,
+            on,
+            suffix=suffix,
+            aggregate_duplicates=aggregate_duplicates,
+            numeric_agg=numeric_agg,
+            categorical_agg=categorical_agg,
+            executor=executor,
+            memory_budget=memory_budget,
+            prune=prune,
+            stats=stats,
+        )
+    )
+    if len(parts) == 1:
+        return parts[0], stats
+    from repro.relational.column import concat_columns
+
+    columns = [
+        concat_columns([part.column(name) for part in parts])
+        for name in parts[0].column_names
+    ]
+    return Table(columns, name=parts[0].name), stats
+
+
+def streaming_match_fraction(
+    source, right: Table, on: Sequence[tuple[str, str]]
+) -> tuple[float, StreamJoinStats]:
+    """Out-of-core :func:`join_match_fraction` with full chunk skipping.
+
+    Reads only the key columns of chunks that survive zone pruning; a pruned
+    chunk contributes zero matches without touching a single page.
+    """
+    source = as_chunk_source(source)
+    stats = StreamJoinStats(chunks_total=source.num_chunks, rows_total=source.num_rows)
+    if not on or source.num_rows == 0:
+        return 0.0, stats
+    joiner = StreamingHashJoin(right, on, source.schema())
+    cat_keys = [
+        key for key in joiner.left_keys
+        if source.schema().type_of(key) is CATEGORICAL
+    ]
+    matched = 0
+    for index in range(source.num_chunks):
+        zones = source.zones(index)
+        dictionaries = {key: source.dictionary(key) for key in cat_keys}
+        if not joiner.chunk_may_match(zones, dictionaries):
+            continue
+        chunk = source.chunk(index, columns=joiner.left_keys)
+        match_index = joiner.probe_chunk(chunk)
+        matched += int((match_index >= 0).sum())
+        stats.chunks_probed += 1
+        stats.rows_probed += chunk.num_rows
+    stats.rows_matched = matched
+    return matched / source.num_rows, stats

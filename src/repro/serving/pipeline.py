@@ -318,8 +318,12 @@ class FittedPipeline:
         Returns the float design matrix with the training feature layout
         (:attr:`feature_names`).  On the training base table this reproduces
         the training design matrix byte-for-byte; the result is identical
-        across executor backends.
+        across executor backends.  A chunked table source materialises first
+        (the output matrix is whole anyway); use :meth:`iter_transform` to
+        keep the input out-of-core.
         """
+        if not isinstance(rows, Table) and hasattr(rows, "iter_chunks"):
+            rows = rows.table()
         base = self._check_rows(rows)
         if self.joins:
             repo = self._resolve_repository(repository)
@@ -360,12 +364,38 @@ class FittedPipeline:
         memory-mapped repository table stream through a small resident set.
         The executor pool is created once and shared by every micro-batch
         (a per-batch pool would pay process-pool startup per batch).
+
+        ``rows`` may also be a chunked table source
+        (:class:`~repro.relational.persist.ChunkedTableReader`, anything with
+        ``iter_chunks``): row groups then stream straight off the file —
+        sub-batched to ``batch_rows`` — so an out-of-core table transforms
+        under a one-chunk memory bound without ever materialising.
         """
         if batch_rows < 1:
             raise ValueError("batch_rows must be >= 1")
         owns_executor = isinstance(executor, str) and bool(self.joins)
         pool = make_executor(executor, n_jobs) if owns_executor else executor
         try:
+            if not isinstance(rows, Table) and hasattr(rows, "iter_chunks"):
+                empty = True
+                for chunk in rows.iter_chunks():
+                    for start in range(0, chunk.num_rows, batch_rows):
+                        stop = min(start + batch_rows, chunk.num_rows)
+                        empty = False
+                        yield self.transform(
+                            chunk.take(np.arange(start, stop)),
+                            repository=repository,
+                            executor=pool,
+                            n_jobs=n_jobs,
+                        )
+                if empty:
+                    yield self.transform(
+                        rows.table(),
+                        repository=repository,
+                        executor=pool,
+                        n_jobs=n_jobs,
+                    )
+                return
             n = rows.num_rows
             for start in range(0, n, batch_rows):
                 stop = min(start + batch_rows, n)
@@ -411,8 +441,13 @@ class FittedPipeline:
         ``batch_rows`` switches to the bounded-memory streaming path and
         concatenates the per-batch predictions.  Classification over a
         categorical training target returns decoded labels; everything else
-        returns floats.
+        returns floats.  A chunked table source (anything with
+        ``iter_chunks``) always takes the streaming path, so predicting over
+        an out-of-core table never materialises it (only the prediction
+        vector itself is whole).
         """
+        if batch_rows is None and not isinstance(rows, Table) and hasattr(rows, "iter_chunks"):
+            batch_rows = DEFAULT_BATCH_ROWS
         if batch_rows is not None:
             parts = list(
                 self.iter_predict(

@@ -28,7 +28,12 @@ from repro.relational import (
     table_fingerprint,
     write_table,
 )
-from repro.relational.persist import FORMAT_VERSION, MAGIC, bytes_read, reset_bytes_read
+from repro.relational.persist import (
+    CHUNKED_FORMAT_VERSION,
+    MAGIC,
+    bytes_read,
+    reset_bytes_read,
+)
 from repro.relational.schema import BOOLEAN, CATEGORICAL, DATETIME, NUMERIC
 
 # -- strategies -------------------------------------------------------------
@@ -187,7 +192,8 @@ class TestFormatErrors:
     def test_version_mismatch(self, tmp_path):
         path = self._write_sample(tmp_path)
         raw = bytearray(path.read_bytes())
-        raw[len(MAGIC) : len(MAGIC) + 4] = (FORMAT_VERSION + 1).to_bytes(4, "little")
+        # one past the chunked version: not a valid format under any layout
+        raw[len(MAGIC) : len(MAGIC) + 4] = (CHUNKED_FORMAT_VERSION + 1).to_bytes(4, "little")
         path.write_bytes(bytes(raw))
         with pytest.raises(TableFormatError, match="version"):
             read_table_header(path)
