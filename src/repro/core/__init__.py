@@ -1,6 +1,6 @@
 """ARDA core: the end-to-end automatic relational data augmentation pipeline."""
 
-from repro.core.config import ARDAConfig
+from repro.core.config import ARDAConfig, ServingConfig
 from repro.core.executor import (
     JoinExecutor,
     ProcessJoinExecutor,
@@ -16,6 +16,7 @@ from repro.core.results import AugmentationReport, BatchReport
 __all__ = [
     "ARDA",
     "ARDAConfig",
+    "ServingConfig",
     "AugmentationReport",
     "BatchReport",
     "JoinBatch",

@@ -354,7 +354,7 @@ class ARDA:
             augmented_score = self._final_score(augmented_full, target, task)
         fit_time = time.perf_counter() - fit_start
 
-        return AugmentationReport(
+        report = AugmentationReport(
             dataset_name=dataset_name or base_table.name,
             task=task,
             base_score=base_score,
@@ -376,6 +376,8 @@ class ARDA:
             augmented_path=out_path if base_source is not None else None,
             stream_stats=stream_stats,
         )
+        report.record_metrics()
+        return report
 
     # -- helpers ----------------------------------------------------------------------
 

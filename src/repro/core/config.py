@@ -181,3 +181,91 @@ class ARDAConfig:
             raise ValueError("chunk_rows must be None, 0 (monolithic) or positive")
         if self.memory_budget is not None and self.memory_budget < 1:
             raise ValueError("memory_budget must be None or a positive byte count")
+
+
+@dataclass
+class ServingConfig:
+    """Knobs of the resident serving server (:mod:`repro.serving.server`).
+
+    The canonical knob table lives in ``docs/API.md``; this docstring is the
+    source of truth for semantics.
+
+    Attributes
+    ----------
+    host / port:
+        Listen address.  ``port=0`` binds an ephemeral port (tests and
+        benchmarks); :attr:`~repro.serving.server.PredictionServer.address`
+        reports the bound one.
+    workers:
+        Scorer worker threads.  Each worker independently pulls from the
+        admission queue, coalesces a micro-batch and scores it against the
+        live pipeline generation; workers share one memory-mapped artifact
+        and one pinned repository snapshot.
+    max_batch_rows:
+        Micro-batch coalescing cap: a worker stops gathering requests once
+        the coalesced row count reaches this.  Larger batches amortise join
+        replay and estimator dispatch; smaller ones bound per-request
+        latency.
+    max_wait_ms:
+        How long a worker waits for more requests to coalesce after its
+        first, in milliseconds.  The wait only happens while the queue is
+        empty — a backed-up queue coalesces without waiting.  ``0`` disables
+        coalescing-by-waiting entirely (each batch is whatever is already
+        queued).
+    queue_depth:
+        Admission queue capacity in *requests*.  A full queue rejects new
+        predict requests with HTTP 503 instead of letting latency grow
+        without bound (backpressure beats collapse).
+    max_request_rows:
+        Per-request row cap; larger batch requests are rejected with HTTP
+        413 (the one-shot ``score`` CLI is the right tool for bulk scoring).
+    reload_interval_s:
+        How often the watcher thread checks the artifact file's content
+        fingerprint and the repository manifest generation for hot reload;
+        ``0`` disables the watcher (reloads then only happen via an explicit
+        :meth:`~repro.serving.server.PredictionServer.check_reload`).
+    drain_timeout_s:
+        Upper bound on graceful shutdown: how long to wait for queued and
+        in-flight requests to finish before stopping the workers anyway.
+        Also bounds how long one request handler waits for its result before
+        answering HTTP 504.
+    executor / n_jobs:
+        Join-replay backend used by each scorer worker (see
+        :attr:`ARDAConfig.executor`); results are identical across backends.
+        The default serial executor is right for micro-batches — worker
+        threads already provide the concurrency.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    workers: int = 2
+    max_batch_rows: int = 1024
+    max_wait_ms: float = 2.0
+    queue_depth: int = 1024
+    max_request_rows: int = 100_000
+    reload_interval_s: float = 2.0
+    drain_timeout_s: float = 30.0
+    executor: str = "serial"
+    n_jobs: int | None = None
+
+    def __post_init__(self):
+        from repro.core.executor import EXECUTOR_NAMES
+
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_batch_rows < 1:
+            raise ValueError("max_batch_rows must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.max_request_rows < 1:
+            raise ValueError("max_request_rows must be >= 1")
+        if self.reload_interval_s < 0:
+            raise ValueError("reload_interval_s must be >= 0 (0 disables the watcher)")
+        if self.drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be positive")
+        if self.port < 0 or self.port > 65535:
+            raise ValueError("port must be in [0, 65535] (0 = ephemeral)")
+        if self.executor not in EXECUTOR_NAMES:
+            raise ValueError(f"executor must be one of {EXECUTOR_NAMES}")

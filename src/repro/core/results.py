@@ -104,6 +104,28 @@ class AugmentationReport:
             "total_s": self.total_time,
         }
 
+    def record_metrics(self, registry=None) -> None:
+        """Record this run into a metrics registry.
+
+        Stage wall-clock times go into ``arda.stage.*`` histograms (one
+        observation per stage per run), the run itself increments
+        ``arda.runs``, and any streaming-join accounting is added via
+        :meth:`~repro.relational.join.StreamJoinStats.record_to`.  The
+        registry defaults to the process-wide
+        :func:`repro.observability.get_registry`; ``ARDA.augment`` calls this
+        once per run, so a resident server's ``/metrics`` endpoint reports
+        training activity alongside serving traffic.  The report's own
+        fields and :meth:`stage_breakdown` are unchanged by this.
+        """
+        from repro.observability import get_registry
+
+        registry = registry if registry is not None else get_registry()
+        registry.counter("arda.runs").inc()
+        registry.record_timings("arda.stage", self.stage_breakdown())
+        if self.stream_stats:
+            for stats in self.stream_stats.values():
+                stats.record_to(registry)
+
     def summary(self) -> dict:
         """Compact dictionary used by reports and tests."""
         return {

@@ -59,6 +59,7 @@ from repro.relational.persist import (
     DEFAULT_STREAM_CHUNK_ROWS,
     ChunkedTableReader,
     ManifestEntry,
+    ManifestFormatError,
     RepositoryManifest,
     TableFormatError,
     TableHeader,
@@ -340,6 +341,24 @@ class ProfileCache:
                 self._entries[key] = (None, record["fingerprint"], profiles)
                 loaded += 1
         return loaded
+
+    def register_metrics(self, registry=None, name: str = "profile_cache") -> str:
+        """Expose :meth:`stats` as a pull-based source on a metrics registry.
+
+        The registry (default: the process-wide
+        :func:`repro.observability.get_registry`) evaluates :meth:`stats` at
+        snapshot time, so ``/metrics``-style consumers see the same counters
+        this class has always kept — nothing about the counters themselves
+        changes.  Registering again under the same name replaces the previous
+        source (the serving server re-registers on every repository rebind);
+        the registry holds a strong reference to this cache until the source
+        is replaced or unregistered.  Returns the registered source name.
+        """
+        from repro.observability import get_registry
+
+        registry = registry if registry is not None else get_registry()
+        registry.register_source(name, self.stats)
+        return name
 
     def reset_counters(self) -> None:
         """Zero the hit/miss/invalidation counters (entries are kept)."""
@@ -864,6 +883,76 @@ class DataRepository:
         path = Path(path)
         self.profile_cache.save(path, generation=self._generation)
         return path
+
+    def reload(self) -> int:
+        """Adopt a newer manifest generation published by another process.
+
+        The write protocol is single-writer-*process*: a resident reader (the
+        serving server) must not mutate a directory some other process owns,
+        but it may — and this is the hot-reload path — pick up the
+        generations that writer publishes.  ``reload`` re-reads the manifest
+        and, when its generation is newer than the one currently held, swaps
+        in a catalog built from the referenced files' headers.  Everything
+        else follows the in-process publish rules: the swap happens under the
+        write lock as one reference assignment (readers see the old or the
+        new catalog, never a mix), superseded files queue for
+        reference-counted GC (the writer usually reclaims them first —
+        already-deleted files are skipped quietly), stale LRU entries are
+        dropped, and profile-cache entries whose fingerprints no longer match
+        are pruned.
+
+        Snapshots taken before the reload keep reading the files they have
+        **already opened** — ``os.replace``/``unlink`` keep a mapped inode
+        alive — but this process's pins are invisible to the writer process,
+        which may delete a superseded file this process never opened.  A
+        resident reader that must keep serving an old generation across
+        writer GC therefore touches every table it needs right after
+        snapshotting (the serving server does exactly this on bind).
+
+        Returns the generation now held (unchanged if the on-disk manifest is
+        absent, not newer, or torn mid-write — a torn read is retried on the
+        next call).  Raises nothing in the steady state: a manifest
+        referencing an already-vanished table file (the writer raced two
+        generations ahead) is treated as torn and skipped.  In-memory
+        repositories always return the current generation.
+        """
+        if self._manifest_path is None or not self._manifest_path.exists():
+            return self._generation
+        try:
+            manifest = read_manifest(self._manifest_path)
+        except (ManifestFormatError, OSError):
+            return self._generation
+        if manifest.generation <= self._generation:
+            return self._generation
+        # build the new catalog fully before taking the lock: header reads do
+        # file I/O and must not stall concurrent publishes or snapshots
+        new_catalog: dict[str, _CatalogEntry] = {}
+        try:
+            for name in sorted(manifest.tables):
+                path = self._directory / manifest.tables[name].file
+                new_catalog[name] = _CatalogEntry(path, read_table_header(path))
+        except (TableFormatError, OSError):
+            return self._generation
+        with self._write_lock:
+            if manifest.generation <= self._generation:
+                return self._generation  # lost the race to a concurrent reload
+            old_catalog = self._catalog
+            self._catalog = new_catalog
+            self._generation = manifest.generation
+            kept = {entry.path for entry in new_catalog.values()}
+            for entry in old_catalog.values():
+                if entry.path not in kept:
+                    self._pending_gc.add(entry.path)
+            self._collect_garbage()
+        with self._lru_lock:
+            for name in list(self._loaded):
+                entry = new_catalog.get(name)
+                if entry is None or self._loaded[name][0] != entry.header.fingerprint:
+                    del self._loaded[name]
+        self.profile_cache.prune_fingerprints(
+            {name: entry.header.fingerprint for name, entry in new_catalog.items()}
+        )
+        return self._generation
 
     def _store_loaded(self, name: str, fingerprint: str, table: Table) -> None:
         # caller holds _lru_lock

@@ -203,12 +203,23 @@ class RandomForestRegressor(_BaseForest, RegressorMixin):
         return self
 
     def predict(self, X) -> np.ndarray:
-        """Average the predictions of all trees."""
+        """Average the predictions of all trees.
+
+        Accumulates tree-by-tree (like the classifier's soft vote) instead of
+        ``stack().mean(axis=0)``: numpy's pairwise reduction blocks differently
+        for different batch widths, so the stacked mean could round a row's
+        prediction differently depending on how many rows it was scored with.
+        Sequential accumulation gives every row the same addition order at any
+        batch size — a micro-batching server must return bit-identical
+        predictions however requests get coalesced.
+        """
         X = check_array(X)
         if not self.estimators_:
             raise RuntimeError("forest must be fitted before prediction")
-        predictions = np.stack([tree.predict(X) for tree in self.estimators_])
-        return predictions.mean(axis=0)
+        total = np.zeros(X.shape[0], dtype=np.float64)
+        for tree in self.estimators_:
+            total += tree.predict(X)
+        return total / len(self.estimators_)
 
 
 class RandomForestClassifier(_BaseForest, ClassifierMixin):

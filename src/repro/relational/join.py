@@ -323,6 +323,25 @@ class StreamJoinStats:
             rows_matched=self.rows_matched + other.rows_matched,
         )
 
+    def record_to(self, registry=None, prefix: str = "stream_join") -> None:
+        """Add this join's accounting to a metrics registry's counters.
+
+        Each field increments the ``{prefix}.{field}`` counter on the given
+        registry (default: the process-wide
+        :func:`repro.observability.get_registry`), so repeated joins
+        accumulate process totals while this object keeps reporting its own
+        run unchanged.
+        """
+        from repro.observability import get_registry
+
+        registry = registry if registry is not None else get_registry()
+        registry.counter(f"{prefix}.chunks_total").inc(self.chunks_total)
+        registry.counter(f"{prefix}.chunks_probed").inc(self.chunks_probed)
+        registry.counter(f"{prefix}.chunks_pruned").inc(self.chunks_pruned)
+        registry.counter(f"{prefix}.rows_total").inc(self.rows_total)
+        registry.counter(f"{prefix}.rows_probed").inc(self.rows_probed)
+        registry.counter(f"{prefix}.rows_matched").inc(self.rows_matched)
+
 
 class _TableChunkSource:
     """Adapt an in-memory :class:`Table` to the chunk-source protocol.

@@ -69,6 +69,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro import observability
 from repro.relational.column import Column, concat_columns, remap_dictionary
 from repro.relational.schema import CATEGORICAL, ColumnSpec, ColumnType, Schema
 from repro.relational.table import Table
@@ -119,6 +120,12 @@ def _count(n: int, kind: str = "pages") -> None:
     global _bytes_read
     _bytes_read += n
     _bytes_read_detail[kind] += n
+
+
+# the per-kind byte counters join the process-wide metrics registry as a
+# pull-based source: the hot read path pays nothing, and `/metrics` callers
+# see the very numbers bytes_read_detail() returns
+observability.get_registry().register_source("persist.bytes_read", bytes_read_detail)
 
 
 def _align(offset: int) -> int:

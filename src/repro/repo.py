@@ -1,170 +1,49 @@
-"""Repository maintenance front end: ``python -m repro.repo``.
+"""Deprecated shim: ``python -m repro.repo`` → ``python -m repro repo``.
 
-Two subcommands:
+Repository maintenance moved into the unified CLI (:mod:`repro.cli`); the
+subcommands keep their exact argument surface under the ``repo`` group::
 
-* ``stat`` — describe every table of a repository directory from file
-  headers alone: row/column counts, format version, chunk count and target,
-  zone-map coverage, and the header-derived file size.  No data page is
-  read; the footer line reports the actual bytes read per kind
-  (:func:`repro.relational.persist.bytes_read_detail`) as proof.
-* ``rechunk`` — rewrite one table (or every table) to a new row-group
-  layout via :meth:`~repro.discovery.repository.DataRepository.rechunk`.
-  The rewrite streams chunk-to-chunk, is atomic (staged-publish, next
-  manifest generation), and leaves the content fingerprint unchanged, so
-  live snapshots and cached profiles are unaffected.
+    python -m repro repo stat lake/
+    python -m repro repo rechunk lake/ orders --chunk-rows 65536
 
-Examples::
-
-    python -m repro.repo stat lake/
-    python -m repro.repo rechunk lake/ orders --chunk-rows 65536
-    python -m repro.repo rechunk lake/ --all --chunk-rows 0   # monolithic
+This module stays importable and runnable so existing scripts keep working,
+but emits a :class:`DeprecationWarning` and simply forwards.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-from pathlib import Path
+import warnings
 
-from repro.discovery.repository import DataRepository
-from repro.relational.persist import (
-    TableFormatError,
-    TableHeader,
-    bytes_read_detail,
-    reset_bytes_read,
+from repro.cli import (
+    _cmd_rechunk,
+    _cmd_stat,
+    _header_file_size,
+    _table_row,
+    _zone_coverage,
+    main as _cli_main,
 )
 
+__all__ = ["main"]
 
-def _zone_coverage(header: TableHeader) -> float | None:
-    """Fraction of (chunk, column) zone-map slots carrying a (min, max) range.
-
-    ``None`` for monolithic version-1 files, which have no zone map at all.
-    A slot is empty when the chunk holds no valid value for that column, so
-    coverage below 1.0 usually just reflects all-missing column stretches.
-    """
-    if not header.chunks:
-        return None
-    total = len(header.chunks) * len(header.columns)
-    if total == 0:
-        return None
-    filled = sum(
-        1 for chunk in header.chunks for zone in chunk.zones if zone is not None
-    )
-    return filled / total
-
-
-def _header_file_size(header: TableHeader) -> int:
-    """File size implied by the header alone: page zone start + page bytes."""
-    return header.pages_start + header.pages_nbytes
-
-
-def _table_row(name: str, entry) -> dict:
-    header = entry.header
-    coverage = _zone_coverage(header)
-    return {
-        "name": name,
-        "rows": header.num_rows,
-        "columns": len(header.columns),
-        "version": 2 if header.chunks else 1,
-        "chunks": header.num_chunks,
-        "chunk_rows": header.chunk_rows,
-        "zone_coverage": coverage,
-        "file_bytes": _header_file_size(header),
-        "fingerprint": header.fingerprint,
-        "file": entry.path.name,
-    }
-
-
-def _cmd_stat(args) -> int:
-    reset_bytes_read()
-    repository = DataRepository.open(args.directory, load_profiles=False)
-    rows = []
-    for name in sorted(repository.table_names):
-        entry = repository._catalog.get(name)
-        if entry is None:
-            continue  # in-memory only; nothing on disk to describe
-        rows.append(_table_row(name, entry))
-    detail = bytes_read_detail()
-    if args.json:
-        print(json.dumps({"tables": rows, "bytes_read": detail}, indent=2))
-        return 0
-    if not rows:
-        print(f"{args.directory}: no tables")
-        return 0
-    fmt = "{:<20} {:>10} {:>5} {:>3} {:>7} {:>11} {:>9} {:>12}"
-    print(fmt.format("table", "rows", "cols", "ver", "chunks", "chunk_rows", "zones", "bytes"))
-    for row in rows:
-        coverage = "-" if row["zone_coverage"] is None else f"{row['zone_coverage']:.0%}"
-        target = "-" if row["chunk_rows"] is None else str(row["chunk_rows"])
-        print(
-            fmt.format(
-                row["name"],
-                row["rows"],
-                row["columns"],
-                f"v{row['version']}",
-                row["chunks"],
-                target,
-                coverage,
-                row["file_bytes"],
-            )
-        )
-    total_bytes = sum(row["file_bytes"] for row in rows)
-    total_chunks = sum(row["chunks"] for row in rows)
-    print(
-        f"{len(rows)} tables, {total_chunks} chunks, "
-        f"{total_bytes / 1e6:.2f} MB (header-derived)"
-    )
-    read = ", ".join(f"{kind}={count}" for kind, count in sorted(detail.items()) if count)
-    print(f"bytes read: {read or 'none'}  (headers and zone maps only)")
-    return 0
-
-
-def _cmd_rechunk(args) -> int:
-    if args.all == (args.table is not None):
-        print("error: name exactly one table, or pass --all", file=sys.stderr)
-        return 2
-    repository = DataRepository.open(args.directory, load_profiles=False)
-    names = sorted(repository._catalog) if args.all else [args.table]
-    for name in names:
-        before = repository._catalog[name].header.num_chunks
-        repository.rechunk(name, chunk_rows=args.chunk_rows)
-        after = repository._catalog[name].header.num_chunks
-        print(f"{name}: {before} -> {after} chunks ({repository._catalog[name].path.name})")
-    return 0
+# re-exported for callers that imported the helpers from here
+_cmd_stat = _cmd_stat
+_cmd_rechunk = _cmd_rechunk
+_zone_coverage = _zone_coverage
+_header_file_size = _header_file_size
+_table_row = _table_row
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.repo", description=__doc__.splitlines()[0]
+    """Forward to ``python -m repro repo`` (same subcommand names)."""
+    warnings.warn(
+        "python -m repro.repo is deprecated; use python -m repro repo "
+        "(same subcommands: stat, rechunk)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    stat = sub.add_parser("stat", help="describe a repository from headers alone")
-    stat.add_argument("directory", type=Path, help="repository directory of .tbl files")
-    stat.add_argument("--json", action="store_true", help="machine-readable output")
-    stat.set_defaults(func=_cmd_stat)
-
-    rechunk = sub.add_parser("rechunk", help="rewrite tables to a new row-group layout")
-    rechunk.add_argument("directory", type=Path, help="repository directory of .tbl files")
-    rechunk.add_argument("table", nargs="?", default=None, help="table to rewrite")
-    rechunk.add_argument("--all", action="store_true", help="rewrite every table")
-    rechunk.add_argument(
-        "--chunk-rows", type=int, default=None,
-        help="row-group target (0 = monolithic v1 file; default: "
-        "ARDA_CHUNK_ROWS or the streaming default)",
-    )
-    rechunk.set_defaults(func=_cmd_rechunk)
-
-    args = parser.parse_args(argv)
-    try:
-        return args.func(args)
-    except KeyError as exc:
-        print(f"error: unknown table {exc.args[0] if exc.args else exc}", file=sys.stderr)
-        return 1
-    except (TableFormatError, FileNotFoundError, NotADirectoryError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    return _cli_main(["repo", *argv])
 
 
 if __name__ == "__main__":

@@ -1,140 +1,39 @@
-"""Command-line front end for serving artifacts: ``python -m repro.serve``.
+"""Deprecated shim: ``python -m repro.serve`` → ``python -m repro``.
 
-Two subcommands:
+The serving front end moved into the unified CLI (:mod:`repro.cli`);
+``inspect`` and ``score`` keep their exact argument surface there::
 
-* ``inspect`` — describe an artifact from its header alone (target, task,
-  join plan with fingerprints, feature count, estimator kind, page sizes);
-  no repository needed and no page is read.
-* ``score`` — load an artifact, bind it to a repository (fingerprint
-  validated), score a table of base rows and write (or print) the
-  predictions.  ``--batch-rows`` switches to the bounded-memory streaming
-  path; ``--executor``/``--n-jobs`` pick the join-replay backend (results
-  are identical across backends).
+    python -m repro inspect model.pipeline
+    python -m repro score model.pipeline --repository lake/ --rows fresh.csv
 
-Examples::
-
-    python -m repro.serve inspect model.pipeline
-    python -m repro.serve score model.pipeline --repository lake/ \\
-        --rows fresh.csv --output predictions.csv --batch-rows 50000
+This module stays importable and runnable so existing scripts keep working,
+but emits a :class:`DeprecationWarning` and simply forwards.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-from pathlib import Path
+import warnings
 
-from repro.discovery.repository import DataRepository
-from repro.relational.column import Column
-from repro.relational.io import read_csv, write_csv
-from repro.relational.table import Table
-from repro.serving.artifact import ArtifactError, read_artifact_header
-from repro.serving.pipeline import FittedPipeline
+from repro.cli import _cmd_inspect, _cmd_score, _load_rows, main as _cli_main
 
+__all__ = ["main"]
 
-def _load_rows(path: Path) -> Table:
-    """Read serving rows from a ``.tbl`` (memory-mapped) or ``.csv`` file."""
-    if path.suffix == ".csv":
-        return read_csv(path, name=path.stem)
-    return Table.load(path)
-
-
-def _cmd_inspect(args) -> int:
-    header = read_artifact_header(args.artifact)
-    doc = header["doc"]
-    page_bytes = sum(page["nbytes"] for page in header["pages"])
-    print(f"artifact   : {args.artifact}")
-    print(f"version    : {header['version']}")
-    print(f"target     : {doc['target']}  ({doc['task']})")
-    print(f"base cols  : {len(doc['base_schema'])}")
-    print(f"features   : {sum(len(c['feature_names']) for c in doc['encoder']['columns'])}")
-    print(f"estimator  : {doc['estimator'].get('kind', '?')}")
-    print(f"pages      : {len(header['pages'])} ({page_bytes / 1e3:.1f} kB)")
-    print(f"joins      : {len(doc['joins'])}")
-    for step in doc["joins"]:
-        keys = ", ".join(f"{b}->{f}{'~' if soft else ''}" for b, f, soft in step["keys"])
-        print(
-            f"  - {step['foreign_table']} [{keys}] keeps "
-            f"{len(step['column_names'])} columns "
-            f"(fingerprint {step['fingerprint'][:12]}…)"
-        )
-    if args.json:
-        print(json.dumps(doc, indent=2, default=str))
-    return 0
-
-
-def _cmd_score(args) -> int:
-    if args.repository is not None:
-        repository = DataRepository.open(args.repository, lru_tables=args.lru_tables)
-    else:
-        repository = None
-    pipeline = FittedPipeline.load(args.artifact, repository=repository)
-    if pipeline.joins and repository is None:
-        print(
-            "error: this pipeline replays joins; pass --repository DIR",
-            file=sys.stderr,
-        )
-        return 2
-    rows = _load_rows(args.rows)
-    predictions = pipeline.predict(
-        rows,
-        batch_rows=args.batch_rows,
-        executor=args.executor,
-        n_jobs=args.n_jobs,
-    )
-    out = Table([Column("prediction", list(predictions))], name="predictions")
-    if args.output is not None:
-        write_csv(out, args.output)
-        print(f"wrote {len(predictions)} predictions to {args.output}")
-    else:
-        for value in predictions[: args.head]:
-            print(value)
-        if len(predictions) > args.head:
-            print(f"... ({len(predictions)} total; use --output to write all)")
-    return 0
+# re-exported for callers that imported the helpers from here
+_cmd_inspect = _cmd_inspect
+_cmd_score = _cmd_score
+_load_rows = _load_rows
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.serve", description=__doc__.splitlines()[0]
+    """Forward to ``python -m repro`` (same subcommand names)."""
+    warnings.warn(
+        "python -m repro.serve is deprecated; use python -m repro "
+        "(same subcommands: inspect, score)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    inspect = sub.add_parser("inspect", help="describe an artifact from its header")
-    inspect.add_argument("artifact", type=Path, help="path to a .pipeline artifact")
-    inspect.add_argument("--json", action="store_true", help="also dump the full header doc")
-    inspect.set_defaults(func=_cmd_inspect)
-
-    score = sub.add_parser("score", help="batch-score rows with a fitted pipeline")
-    score.add_argument("artifact", type=Path, help="path to a .pipeline artifact")
-    score.add_argument("--rows", type=Path, required=True, help="base rows (.tbl or .csv)")
-    score.add_argument(
-        "--repository", type=Path, default=None,
-        help="directory of binary tables the fitted joins replay against",
-    )
-    score.add_argument("--output", type=Path, default=None, help="write predictions CSV here")
-    score.add_argument(
-        "--batch-rows", type=int, default=None,
-        help="stream in micro-batches of this many rows (bounded memory)",
-    )
-    score.add_argument("--executor", default="serial", choices=["serial", "thread", "process"])
-    score.add_argument("--n-jobs", type=int, default=None)
-    score.add_argument("--lru-tables", type=int, default=16)
-    score.add_argument("--head", type=int, default=10, help="predictions to print without --output")
-    score.set_defaults(func=_cmd_score)
-
-    args = parser.parse_args(argv)
-    try:
-        return args.func(args)
-    except KeyError as exc:
-        # serving-row validation raises KeyError with a full sentence; strip
-        # the repr quotes it acquires as an exception argument
-        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
-        return 1
-    except (ArtifactError, FileNotFoundError, TypeError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+    return _cli_main(list(argv) if argv is not None else sys.argv[1:])
 
 
 if __name__ == "__main__":

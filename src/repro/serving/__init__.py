@@ -5,8 +5,10 @@ selected-feature set and a trained estimator; this package packages all of it
 as a single versioned artifact (:class:`FittedPipeline`) that can be saved,
 loaded in a fresh process, validated against a repository by content
 fingerprint, and used to transform/predict on unseen base rows without ever
-re-running discovery or feature selection.  ``python -m repro.serve`` is the
-command-line front end for artifact inspection and batch scoring.
+re-running discovery or feature selection.  :class:`PredictionServer` keeps a
+loaded pipeline resident behind an HTTP endpoint with micro-batching and hot
+artifact reload; ``python -m repro`` is the command-line front end for
+artifact inspection, batch scoring and running the server.
 """
 
 from repro.serving.artifact import (
@@ -16,12 +18,19 @@ from repro.serving.artifact import (
     read_artifact_header,
     write_artifact,
 )
+from repro.serving.codec import (
+    RequestError,
+    parse_predict_payload,
+    predictions_to_payload,
+    rows_to_table,
+)
 from repro.serving.pipeline import (
     DEFAULT_BATCH_ROWS,
     FittedPipeline,
     JoinStep,
     fit_pipeline_from_training,
 )
+from repro.serving.server import PredictionServer
 
 __all__ = [
     "ARTIFACT_VERSION",
@@ -29,8 +38,13 @@ __all__ = [
     "DEFAULT_BATCH_ROWS",
     "FittedPipeline",
     "JoinStep",
+    "PredictionServer",
+    "RequestError",
     "fit_pipeline_from_training",
+    "parse_predict_payload",
+    "predictions_to_payload",
     "read_artifact",
     "read_artifact_header",
+    "rows_to_table",
     "write_artifact",
 ]

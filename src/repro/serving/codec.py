@@ -1,0 +1,96 @@
+"""Request/response codec of the resident serving server.
+
+Translates the wire shape (JSON row dictionaries in, JSON prediction lists
+out) to and from the pipeline shape (:class:`~repro.relational.table.Table`
+in, ``np.ndarray`` out).  All *value* coercion is delegated to the column
+layer by pinning each base column to its fitted logical type — the very same
+``Column`` constructors decode CSV text at training time, so a JSON string
+``"3.5"`` in a numeric column or an ISO timestamp in a datetime column lands
+byte-identically to the offline path.  The codec itself only validates the
+*shape* of the payload, raising :class:`RequestError` with a client-facing
+message for anything malformed (the server maps it to HTTP 400).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.relational.schema import ColumnType
+from repro.relational.table import Table
+
+__all__ = ["RequestError", "parse_predict_payload", "predictions_to_payload", "rows_to_table"]
+
+
+class RequestError(ValueError):
+    """A malformed predict request (maps to HTTP 400)."""
+
+
+def parse_predict_payload(payload: object) -> tuple[list[dict], bool]:
+    """Normalise a decoded ``/predict`` JSON body to ``(rows, single)``.
+
+    Accepted shapes: one row object ``{"col": value, ...}``, a bare list of
+    row objects, or an envelope ``{"rows": [...]}``.  ``single`` is True for
+    the one-row object form — the response then carries ``"prediction"``
+    (scalar) instead of ``"predictions"`` (list).
+    """
+    single = False
+    if isinstance(payload, Mapping):
+        if "rows" in payload:
+            rows = payload["rows"]
+            if not isinstance(rows, list):
+                raise RequestError('"rows" must be a list of row objects')
+        else:
+            rows, single = [payload], True
+    elif isinstance(payload, list):
+        rows = payload
+    else:
+        raise RequestError(
+            "predict payload must be a row object, a list of row objects, "
+            'or {"rows": [...]}'
+        )
+    for i, row in enumerate(rows):
+        if not isinstance(row, Mapping):
+            raise RequestError(f"row {i} is not an object: {type(row).__name__}")
+    if not rows:
+        raise RequestError("predict payload contains no rows")
+    return list(rows), single
+
+
+def rows_to_table(rows: list[dict], base_schema: list[tuple[str, str]]) -> Table:
+    """Build a serving table from row dictionaries, pinned to fitted types.
+
+    Every column named in ``base_schema`` keeps its train-time logical type,
+    so value coercion (strings to floats, ISO timestamps to epoch seconds,
+    ``null`` to missing) runs through the same column kernels training used.
+    Columns absent from the schema are left to inference — the pipeline drops
+    them anyway.  Coercion failures (e.g. ``"abc"`` in a numeric column)
+    surface as :class:`RequestError` naming the offending column.
+    """
+    types = {name: ColumnType(ctype) for name, ctype in base_schema}
+    present = {key for row in rows for key in row}
+    try:
+        return Table.from_rows(
+            rows, types={k: v for k, v in types.items() if k in present}
+        )
+    except (ValueError, TypeError) as exc:
+        raise RequestError(f"could not decode rows: {exc}") from exc
+
+
+def predictions_to_payload(predictions: np.ndarray) -> list:
+    """JSON-safe list form of a prediction vector.
+
+    Numeric predictions become floats with ``NaN``/``inf`` mapped to ``null``
+    (strict JSON has no ``NaN`` literal); decoded classification labels pass
+    through as strings, with unmapped codes as ``null``.
+    """
+    out: list = []
+    for value in np.asarray(predictions).tolist():
+        if value is None or isinstance(value, str):
+            out.append(value)
+        else:
+            number = float(value)
+            out.append(number if math.isfinite(number) else None)
+    return out

@@ -281,6 +281,37 @@ class FittedPipeline:
             )
         return self._repository
 
+    def warm(self) -> "FittedPipeline":
+        """Materialise every join-plan foreign table in the bound view.
+
+        Snapshot pinning protects files this process has *opened* (a memory
+        map survives its path being replaced), but a pin alone is invisible
+        to a writer in another process, which may garbage-collect superseded
+        files this reader never touched.  A resident server that must keep
+        serving an old generation across writer-side GC therefore touches
+        every table its join plan needs right after binding — this method is
+        that touch.  No-op for a join-free pipeline; requires :meth:`bind`
+        (or a training-time binding) first.  Returns ``self`` for chaining.
+        """
+        if self.joins and self._repository is None:
+            raise ValueError("warm() needs a bound repository: call bind() first")
+        for step in self.joins:
+            self._repository.get(step.foreign_table)
+        return self
+
+    def release(self) -> None:
+        """Drop the bound repository view, releasing any snapshot we pinned.
+
+        Only snapshots :meth:`bind` created from a live repository are
+        released; a caller-supplied snapshot's lifetime stays with the
+        caller.  Idempotent; the pipeline can be re-``bind``-ed afterwards.
+        """
+        if self._owns_snapshot and isinstance(self._repository, RepositorySnapshot):
+            self._repository.release()
+        self._repository = None
+        self._bound_source = None
+        self._owns_snapshot = False
+
     # -- inference -------------------------------------------------------------
 
     def _check_rows(self, rows: Table) -> Table:

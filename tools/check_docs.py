@@ -36,6 +36,7 @@ SUBSYSTEMS = [
     "repro.ml",
     "repro.selection",
     "repro.serving",
+    "repro.observability",
 ]
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
