@@ -198,21 +198,50 @@ def _header_file_size(header: TableHeader) -> int:
     return header.pages_start + header.pages_nbytes
 
 
-def _table_row(name: str, entry) -> dict:
+def _chunk_zones(header: TableHeader) -> list[dict]:
+    """Per-chunk zone-map key ranges, straight from the header.
+
+    One entry per row group: its global row span plus, for every column, the
+    ``[min, max]`` zone (value range for float-backed columns, code range for
+    categoricals) or ``None`` when the chunk holds no valid value.  Empty for
+    monolithic version-1 files.  This is what the streaming join's pruner
+    consults, so an operator can judge prune-friendliness — a sort-ordered key
+    shows disjoint, monotonically increasing ranges.
+    """
+    names = header.column_names
+    return [
+        {
+            "chunk": index,
+            "row_start": chunk.row_start,
+            "rows": chunk.rows,
+            "zones": {
+                name: (list(zone) if zone is not None else None)
+                for name, zone in zip(names, chunk.zones)
+            },
+        }
+        for index, chunk in enumerate(header.chunks or ())
+    ]
+
+
+def _table_row(name: str, entry, include_zones: bool = False) -> dict:
     header = entry.header
     coverage = _zone_coverage(header)
-    return {
+    row = {
         "name": name,
         "rows": header.num_rows,
         "columns": len(header.columns),
         "version": 2 if header.chunks else 1,
         "chunks": header.num_chunks,
         "chunk_rows": header.chunk_rows,
+        "sort_by": header.sort_by,
         "zone_coverage": coverage,
         "file_bytes": _header_file_size(header),
         "fingerprint": header.fingerprint,
         "file": entry.path.name,
     }
+    if include_zones:
+        row["chunk_zones"] = _chunk_zones(header)
+    return row
 
 
 def _cmd_stat(args) -> int:
@@ -223,7 +252,7 @@ def _cmd_stat(args) -> int:
         entry = repository._catalog.get(name)
         if entry is None:
             continue  # in-memory only; nothing on disk to describe
-        rows.append(_table_row(name, entry))
+        rows.append(_table_row(name, entry, include_zones=args.json))
     detail = bytes_read_detail()
     if args.json:
         print(json.dumps({"tables": rows, "bytes_read": detail}, indent=2))
@@ -231,8 +260,9 @@ def _cmd_stat(args) -> int:
     if not rows:
         print(f"{args.directory}: no tables")
         return 0
-    fmt = "{:<20} {:>10} {:>5} {:>3} {:>7} {:>11} {:>9} {:>12}"
-    print(fmt.format("table", "rows", "cols", "ver", "chunks", "chunk_rows", "zones", "bytes"))
+    fmt = "{:<20} {:>10} {:>5} {:>3} {:>7} {:>11} {:>9} {:>12} {:>12}"
+    print(fmt.format("table", "rows", "cols", "ver", "chunks", "chunk_rows", "zones",
+                     "sorted_by", "bytes"))
     for row in rows:
         coverage = "-" if row["zone_coverage"] is None else f"{row['zone_coverage']:.0%}"
         target = "-" if row["chunk_rows"] is None else str(row["chunk_rows"])
@@ -245,6 +275,7 @@ def _cmd_stat(args) -> int:
                 row["chunks"],
                 target,
                 coverage,
+                row["sort_by"] or "-",
                 row["file_bytes"],
             )
         )
@@ -267,9 +298,11 @@ def _cmd_rechunk(args) -> int:
     names = sorted(repository._catalog) if args.all else [args.table]
     for name in names:
         before = repository._catalog[name].header.num_chunks
-        repository.rechunk(name, chunk_rows=args.chunk_rows)
-        after = repository._catalog[name].header.num_chunks
-        print(f"{name}: {before} -> {after} chunks ({repository._catalog[name].path.name})")
+        repository.rechunk(name, chunk_rows=args.chunk_rows, sort_by=args.sort_by)
+        entry = repository._catalog[name]
+        marker = f", sorted by {entry.header.sort_by}" if entry.header.sort_by else ""
+        print(f"{name}: {before} -> {entry.header.num_chunks} chunks "
+              f"({entry.path.name}{marker})")
     return 0
 
 
@@ -348,6 +381,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-rows", type=int, default=None,
         help="row-group target (0 = monolithic v1 file; default: "
         "ARDA_CHUNK_ROWS or the streaming default)",
+    )
+    rechunk.add_argument(
+        "--sort-by", default=None, metavar="COLUMN",
+        help="physically sort rows by this non-categorical column so chunk "
+        "zone maps become disjoint ranges the streaming join can binary-search",
     )
     rechunk.set_defaults(func=_cmd_rechunk)
 

@@ -37,7 +37,14 @@ from repro.ml.automl import AutoMLSearch
 from repro.relational.column import Column
 from repro.relational.encoding import encode_features_binned, to_design_matrix
 from repro.relational.imputation import impute_table
-from repro.relational.join import StreamingHashJoin, StreamJoinStats, as_chunk_source
+from repro.relational.join import (
+    StreamingHashJoin,
+    StreamJoinStats,
+    _output_names,
+    as_chunk_source,
+    estimate_source_nbytes,
+    iter_grace_left_join,
+)
 from repro.relational.persist import write_table_stream
 from repro.relational.schema import CATEGORICAL, NUMERIC
 from repro.relational.table import Table, unique_name
@@ -137,9 +144,30 @@ class ARDA:
         if candidates is None:
             discovery_start = time.perf_counter()
             discovery = JoinDiscovery(use_cache=config.cache_profiles)
-            candidates = discovery.discover(
-                base_table, repository, target=target, soft_key_columns=soft_key_columns
+            # sharded profiling: fan per-(table, chunk-range) work over the
+            # configured executor backend; rankings are byte-identical to
+            # serial, so this knob changes wall-clock only
+            discovery_jobs = (
+                config.discovery_n_jobs
+                if config.discovery_n_jobs is not None
+                else config.n_jobs
             )
+            discovery_executor = (
+                make_executor(config.executor, discovery_jobs)
+                if config.executor != "serial"
+                else None
+            )
+            try:
+                candidates = discovery.discover(
+                    base_table,
+                    repository,
+                    target=target,
+                    soft_key_columns=soft_key_columns,
+                    executor=discovery_executor,
+                )
+            finally:
+                if discovery_executor is not None:
+                    discovery_executor.shutdown()
             if config.persist_profiles and repository.is_disk_backed:
                 # the next process serves every discovery profile from the
                 # sidecar without reading a single table body; a repository
@@ -488,7 +516,14 @@ class ARDA:
         A kept *soft* join needs global nearest-neighbour context, so its
         presence falls back to one in-memory replay of the whole base
         (streamed back out afterwards); hard joins — the common case — keep
-        peak memory at one chunk plus the prepared build sides.
+        peak memory at one chunk plus the prepared build sides.  Every build
+        side is first projected to its keys plus the kept output columns
+        (dropped columns are never aggregated or decoded), and a projected
+        build that still exceeds ``config.memory_budget`` (or when
+        ``config.spill_partitions`` forces it) runs as a Grace spill join
+        (:func:`~repro.relational.join.iter_grace_left_join`) advanced in
+        chunk lockstep with the fused loop — identical output, peak heap
+        bounded by one partition.
 
         Returns the written path (``None`` when no path was given) and
         per-foreign-table pruning stats.
@@ -517,15 +552,68 @@ class ARDA:
             return augmented_path, stats
 
         schema = source.schema()
-        joiners: list[tuple[StreamingHashJoin, list[int], list[str], str]] = []
+        num_source_columns = len(schema.names)
+        # ("hash", joiner, ...) probes in the fused chunk loop below;
+        # ("grace", iterator, ...) is a build side too big for the memory
+        # budget, hash-partitioned to spill files and advanced in lockstep
+        # (iter_grace_left_join yields exactly one output table per source
+        # chunk, so the fused loop and the spill joins stay chunk-aligned)
+        joiners: list[tuple[str, object, list[int], list[str], str]] = []
+        force_spill = (
+            config.spill_partitions is not None and config.spill_partitions > 1
+        )
         for candidate, positions, names in kept_specs:
             foreign = repository.get(candidate.foreign_table)
             foreign = foreign.prefix_columns(
                 f"{foreign.name}.", exclude=candidate.foreign_columns
             )
-            joiner = StreamingHashJoin(foreign, candidate.key_pairs(), schema)
-            joiners.append((joiner, positions, names, candidate.foreign_table))
+            key_pairs = candidate.key_pairs()
+            right_keys = [pair[1] for pair in key_pairs]
+            # project the build side to keys + kept output columns: columns
+            # the selector dropped are never aggregated, hashed, or decoded
+            pairs_full = _output_names(foreign, right_keys, schema.names, "_r")
+            kept_right = [pairs_full[position][0] for position in positions]
+            needed = list(dict.fromkeys(list(right_keys) + kept_right))
+            projected = foreign.select(needed)
             table_stats = stats.setdefault(candidate.foreign_table, StreamJoinStats())
+            build_bytes = estimate_source_nbytes(as_chunk_source(projected))
+            if force_spill or (
+                config.memory_budget is not None
+                and build_bytes > config.memory_budget
+            ):
+                grace = iter_grace_left_join(
+                    source,
+                    as_chunk_source(projected, chunk_rows=config.chunk_rows),
+                    on=key_pairs,
+                    num_partitions=config.spill_partitions,
+                    memory_budget=config.memory_budget,
+                    spill_dir=config.spill_dir,
+                    stats=table_stats,
+                )
+                # kept columns by position inside the grace output chunk:
+                # source columns first, then the projected build's outputs
+                pairs_projected = _output_names(
+                    projected, right_keys, schema.names, "_r"
+                )
+                projected_order = [pair[0] for pair in pairs_projected]
+                grace_positions = [
+                    num_source_columns + projected_order.index(right_name)
+                    for right_name in kept_right
+                ]
+                joiners.append(
+                    ("grace", grace, grace_positions, names, candidate.foreign_table)
+                )
+                continue
+            joiner = StreamingHashJoin(projected, key_pairs, schema)
+            # positions within the projected joiner's output: its non-key
+            # columns are exactly kept_right, in first-appearance order
+            output_order = [pair[0] for pair in joiner.output]
+            hash_positions = [
+                output_order.index(right_name) for right_name in kept_right
+            ]
+            joiners.append(
+                ("hash", joiner, hash_positions, names, candidate.foreign_table)
+            )
             table_stats.chunks_total += source.num_chunks
             table_stats.rows_total += source.num_rows
 
@@ -534,7 +622,14 @@ class ARDA:
                 chunk = source.chunk(index)
                 zones = source.zones(index)
                 columns = list(chunk.columns())
-                for joiner, positions, names, foreign_name in joiners:
+                for kind, engine, positions, names, foreign_name in joiners:
+                    if kind == "grace":
+                        out_chunk = next(engine)
+                        out_columns = out_chunk.columns()
+                        for position, name in zip(positions, names):
+                            columns.append(out_columns[position].rename(name))
+                        continue
+                    joiner = engine
                     dictionaries = {
                         key: source.dictionary(key)
                         for key in joiner.left_keys

@@ -112,9 +112,30 @@ class ARDAConfig:
         Soft cap, in bytes, on how much chunk data the streaming join engine
         holds at once: chunks of an out-of-core base table are processed in
         waves whose summed (page bytes + projected output) estimate stays
-        under the budget.  ``None`` (default) sizes waves at one chunk per
-        worker.  This bounds the pipeline's working set; it never changes
+        under the budget, and a build (right) side whose estimated size
+        exceeds the budget runs in Grace spill mode (hash-partitioned to
+        disk, joined partition by partition — identical output, peak heap
+        bounded by one partition).  ``None`` (default) sizes waves at one
+        chunk per worker and never spills; it then defers to the
+        ``ARDA_MEMORY_BUDGET`` environment variable (bytes) when that is
+        set.  This bounds the pipeline's working set; it never changes
         results.
+    discovery_n_jobs:
+        Worker count for sharded discovery profiling: repository tables are
+        profiled as per-(table, chunk-range) shards fanned over the
+        ``executor`` backend and merged back into canonical profiles
+        (byte-identical to serial, so candidate rankings never change).
+        ``None`` inherits ``n_jobs``; ``1`` keeps the serial per-table path.
+    spill_partitions:
+        Explicit Grace spill fan-out for the streaming join's build side.
+        ``None`` (default) derives the partition count from the build-side
+        size and ``memory_budget`` and only spills oversized builds; a value
+        ``> 1`` forces partitioned spilling regardless of size (testing and
+        tiny-budget CI legs).
+    spill_dir:
+        Directory for Grace spill files (a uniquely-named subdirectory is
+        created per join and removed afterwards).  ``None`` uses the system
+        temp dir.
     capture_pipeline:
         Capture a servable :class:`~repro.serving.pipeline.FittedPipeline`
         (accepted join plan, fitted encoders/imputers, selected features,
@@ -152,9 +173,14 @@ class ARDAConfig:
     selection_n_jobs: int | None = None
     chunk_rows: int | None = None
     memory_budget: int | None = None
+    discovery_n_jobs: int | None = None
+    spill_partitions: int | None = None
+    spill_dir: str | None = None
     capture_pipeline: bool = True
 
     def __post_init__(self):
+        import os
+
         from repro.core.executor import EXECUTOR_NAMES
         from repro.ml.binning import TREE_METHODS, check_max_bins
 
@@ -179,8 +205,20 @@ class ARDAConfig:
             raise ValueError("lru_tables must be None or >= 1")
         if self.chunk_rows is not None and self.chunk_rows < 0:
             raise ValueError("chunk_rows must be None, 0 (monolithic) or positive")
+        if self.memory_budget is None:
+            env_budget = os.environ.get("ARDA_MEMORY_BUDGET", "").strip()
+            if env_budget:
+                try:
+                    self.memory_budget = int(env_budget)
+                except ValueError:
+                    raise ValueError(
+                        f"ARDA_MEMORY_BUDGET must be an integer byte count, "
+                        f"got {env_budget!r}"
+                    ) from None
         if self.memory_budget is not None and self.memory_budget < 1:
             raise ValueError("memory_budget must be None or a positive byte count")
+        if self.spill_partitions is not None and self.spill_partitions < 1:
+            raise ValueError("spill_partitions must be None or >= 1")
 
 
 @dataclass

@@ -68,6 +68,7 @@ class JoinDiscovery:
         repository: DataRepository,
         target: str | None = None,
         soft_key_columns: list[str] | None = None,
+        executor=None,
     ) -> list[JoinCandidate]:
         """Return candidate joins sorted by descending relevance score.
 
@@ -79,6 +80,15 @@ class JoinDiscovery:
         through the repository's :class:`~repro.discovery.repository.ProfileCache`,
         so repeated discovery over the same repository skips re-profiling.  The
         base table is always profiled fresh (it changes between pipelines).
+
+        ``executor`` (a :class:`~repro.core.executor.JoinExecutor`) shards the
+        repository profiling across per-(table, chunk-range) jobs via
+        :meth:`DataRepository.profiles_many
+        <repro.discovery.repository.DataRepository.profiles_many>`.  Sharded
+        profiles are byte-identical to serial ones and the scoring loop below
+        is untouched, so the candidate set *and* its ranking order are
+        identical to the serial path no matter the backend — parallelism only
+        changes wall-clock time.
         """
         soft_set = set(soft_key_columns or ())
         if isinstance(base, Table):
@@ -91,11 +101,22 @@ class JoinDiscovery:
         if target is not None and target in base_profiles:
             del base_profiles[target]
 
+        foreign_names = [n for n in repository.table_names if n != base.name]
+        prefetched: dict[str, dict[str, ColumnProfile]] | None = None
+        if (
+            executor is not None
+            and self.use_cache
+            and hasattr(repository, "profiles_many")
+        ):
+            prefetched = repository.profiles_many(
+                foreign_names, num_hashes=self.num_hashes, executor=executor
+            )
+
         candidates: list[JoinCandidate] = []
-        for foreign_table in repository.table_names:
-            if foreign_table == base.name:
-                continue
-            if self.use_cache:
+        for foreign_table in foreign_names:
+            if prefetched is not None:
+                foreign_profiles = prefetched[foreign_table]
+            elif self.use_cache:
                 # served from the profile cache; for a disk-backed repository
                 # with a warm sidecar this never reads a table body
                 foreign_profiles = repository.profiles(

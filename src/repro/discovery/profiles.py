@@ -213,6 +213,51 @@ class ColumnProfileAccumulator:
             elif len(chunk_distinct):
                 self._distinct = np.union1d(self._distinct, chunk_distinct)
 
+    def merge(self, other: "ColumnProfileAccumulator") -> None:
+        """Fold another accumulator's partial state into this one.
+
+        The other accumulator must cover a *disjoint* row range of the same
+        column, fed with global ``row_start`` offsets — then merging is
+        order-independent: numeric distinct sets union (sorted either way),
+        categorical first-appearance rows take the minimum per value, and
+        ``finish()`` equals the serial chunk-by-chunk result byte for byte.
+        This is what lets discovery fan per-(table, chunk-range) shards over
+        an executor pool and still produce canonical profiles.
+        """
+        if other.ctype is not self.ctype or other.column_name != self.column_name:
+            raise ValueError(
+                f"cannot merge accumulator of {other.column_name!r} "
+                f"({other.ctype.value}) into {self.column_name!r} ({self.ctype.value})"
+            )
+        self.num_rows += other.num_rows
+        self.null_count += other.null_count
+        if self.ctype is CATEGORICAL:
+            other_dict = np.empty(len(other._dict_index), dtype=object)
+            for text, code in other._dict_index.items():
+                other_dict[code] = text
+            translate = remap_dictionary(other_dict, self._dict_index)
+            if len(self._first_row) < len(self._dict_index):
+                grown = np.full(len(self._dict_index), -1, dtype=np.int64)
+                grown[: len(self._first_row)] = self._first_row
+                self._first_row = grown
+            seen = np.nonzero(other._first_row >= 0)[0]
+            if not len(seen):
+                return
+            mapped = translate[seen]
+            rows = other._first_row[seen]
+            current = self._first_row[mapped]
+            unseen = current < 0
+            self._first_row[mapped[unseen]] = rows[unseen]
+            improved = ~unseen & (rows < current)
+            self._first_row[mapped[improved]] = rows[improved]
+        else:
+            if other._distinct is None:
+                return
+            if self._distinct is None:
+                self._distinct = other._distinct
+            elif len(other._distinct):
+                self._distinct = np.union1d(self._distinct, other._distinct)
+
     def distinct_values(self) -> list:
         """The merged distinct values, ordered as ``Column.unique`` would."""
         if self.ctype is CATEGORICAL:
@@ -248,6 +293,42 @@ class ColumnProfileAccumulator:
             max_value=max_value,
             minhash=signature,
         )
+
+
+def profile_shard(
+    path,
+    table_name: str,
+    chunk_lo: int,
+    chunk_hi: int,
+    num_hashes: int = 64,
+    mmap: bool = True,
+) -> tuple[str | None, dict[str, ColumnProfileAccumulator]]:
+    """Profile one contiguous chunk range ``[chunk_lo, chunk_hi)`` of a table
+    file into per-column accumulators.
+
+    Module-level and picklable so it can run as a process-pool job: each shard
+    opens its own reader, feeds accumulators with *global* row offsets (from
+    ``chunk_row_range``), and returns them with the file's fingerprint.  Any
+    subset of a table's chunks, profiled in any order across any number of
+    shards and merged with :meth:`ColumnProfileAccumulator.merge`, finishes to
+    the same profiles the serial pass produces.
+    """
+    from repro.relational.persist import ChunkedTableReader
+
+    reader = ChunkedTableReader(path, mmap=mmap)
+    schema = reader.schema()
+    accumulators = {
+        spec.name: ColumnProfileAccumulator(
+            table_name, spec.name, spec.ctype, num_hashes=num_hashes
+        )
+        for spec in schema
+    }
+    for index in range(chunk_lo, chunk_hi):
+        row_start, _ = reader.chunk_row_range(index)
+        chunk = reader.chunk(index)
+        for name, accumulator in accumulators.items():
+            accumulator.update(chunk.column(name), row_start)
+    return reader.header.fingerprint, accumulators
 
 
 def profile_table_chunks(source, num_hashes: int = 64) -> dict[str, ColumnProfile]:

@@ -48,13 +48,23 @@ from __future__ import annotations
 import itertools
 import pickle
 import threading
+import time
 import weakref
 from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
-from repro.discovery.profiles import ColumnProfile, profile_table, profile_table_chunks
+import numpy as np
+
+from repro.core.executor import longest_first_order
+from repro.discovery.profiles import (
+    ColumnProfile,
+    profile_shard,
+    profile_table,
+    profile_table_chunks,
+)
 from repro.relational.io import read_csv
+from repro.relational.schema import CATEGORICAL
 from repro.relational.persist import (
     DEFAULT_STREAM_CHUNK_ROWS,
     ChunkedTableReader,
@@ -236,6 +246,42 @@ class ProfileCache:
             self._entries[key] = (None, actual, profiles)
         return profiles
 
+    def peek(
+        self, name: str, fingerprint: str, num_hashes: int = 64
+    ) -> dict[str, ColumnProfile] | None:
+        """Fingerprint-validated lookup that never profiles; ``None`` on miss.
+
+        Sharded discovery uses this to split cache resolution from profile
+        computation: tables whose profiles are already cached are answered
+        here, and only the remainder turns into shard jobs.  Counts a hit or
+        miss exactly like the ``get_or_*`` paths.
+        """
+        key = (name, num_hashes)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[1] == fingerprint:
+                self.hits += 1
+                return entry[2]
+            self.misses += 1
+            return None
+
+    def store(
+        self,
+        name: str,
+        fingerprint: str,
+        profiles: dict[str, ColumnProfile],
+        num_hashes: int = 64,
+    ) -> None:
+        """Deposit externally computed profiles under a fingerprint key.
+
+        The sharded-discovery counterpart of the ``get_or_*`` stores: callers
+        merge shard accumulators themselves and store the finished profiles
+        with the fingerprint the file *actually* carried.  Last store wins —
+        profiles are deterministic, so concurrent stores are identical.
+        """
+        with self._lock:
+            self._entries[(name, num_hashes)] = (None, fingerprint, profiles)
+
     def invalidate(self, table_name: str | None = None) -> int:
         """Drop cached profiles for one table (or all); returns entries dropped."""
         with self._lock:
@@ -398,6 +444,153 @@ def _unlink_quietly(path: Path) -> bool:
     except OSError:
         return False
     return True
+
+
+# -- sharded corpus profiling --------------------------------------------------
+
+
+def _profile_shard_job(shared, item):
+    """Run one (table, chunk-range) profiling shard; pool-friendly.
+
+    ``shared`` is ``(num_hashes, mmap)``; ``item`` is
+    ``(path, name, chunk_lo, chunk_hi)``.  Returns
+    ``(name, chunk_lo, elapsed_seconds, fingerprint, accumulators)``, or
+    ``None`` when the file vanished or turned unreadable mid-run (a
+    concurrent ``replace`` reclaimed it) — the caller then falls back to the
+    serial per-table path for that table.
+    """
+    num_hashes, mmap = shared
+    path, name, chunk_lo, chunk_hi = item
+    start = time.perf_counter()
+    try:
+        fingerprint, accumulators = profile_shard(
+            path, name, chunk_lo, chunk_hi, num_hashes=num_hashes, mmap=mmap
+        )
+    except (FileNotFoundError, TableFormatError):
+        return None
+    return (name, chunk_lo, time.perf_counter() - start, fingerprint, accumulators)
+
+
+def _plan_shards(
+    entries: list[tuple[str, _CatalogEntry]], n_jobs: int
+) -> list[tuple[str, str, int, int]]:
+    """Split tables into ``(path, name, chunk_lo, chunk_hi)`` shard jobs.
+
+    With at least as many tables as workers, one job per table keeps jobs
+    coarse (parallelism comes from the corpus width).  With fewer tables than
+    workers, each table splits into up to ``ceil(n_jobs / tables)`` contiguous
+    chunk ranges so a handful of huge tables still saturates the pool.  The
+    plan is a pure function of catalog state and ``n_jobs`` — determinism of
+    the merged profiles never depends on it (merge is order-independent), it
+    only shapes the parallel schedule.
+    """
+    per_table = 1
+    if entries and len(entries) < n_jobs:
+        per_table = -(-n_jobs // len(entries))
+    jobs: list[tuple[str, str, int, int]] = []
+    for name, entry in entries:
+        chunks = entry.header.num_chunks
+        shards = max(1, min(per_table, chunks))
+        bounds = [round(i * chunks / shards) for i in range(shards + 1)]
+        for lo, hi in zip(bounds, bounds[1:]):
+            if hi > lo:
+                jobs.append((str(entry.path), name, lo, hi))
+    return jobs
+
+
+def _profiles_many(
+    cache: ProfileCache,
+    entry_for: Callable[[str], _CatalogEntry | None],
+    serial: Callable[[str], dict[str, ColumnProfile]],
+    in_memory: dict[str, Table],
+    mmap: bool,
+    names: list[str],
+    num_hashes: int,
+    executor,
+) -> dict[str, dict[str, ColumnProfile]]:
+    """Profile many tables, sharding chunk work over a ``JoinExecutor``.
+
+    Cache hits (fingerprint-validated) are answered without touching table
+    bodies; the remaining disk-backed tables fan out as chunk-range shards
+    whose accumulators merge back — per table, in chunk order — into profiles
+    byte-identical to the serial path.  In-memory tables, serial executors,
+    and any shard that hits a concurrent republish fall back to the one-table
+    ``serial`` callable.  Shard timings and counts land on the process
+    metrics registry under ``discovery.*``.
+    """
+    results: dict[str, dict[str, ColumnProfile]] = {}
+    shardable: list[tuple[str, _CatalogEntry]] = []
+    for name in names:
+        entry = entry_for(name)
+        if entry is None or name in in_memory:
+            results[name] = serial(name)
+            continue
+        cached = cache.peek(name, entry.header.fingerprint, num_hashes=num_hashes)
+        if cached is not None:
+            results[name] = cached
+            continue
+        shardable.append((name, entry))
+    if not shardable:
+        return results
+    if executor is None or executor.n_jobs <= 1:
+        for name, _entry in shardable:
+            results[name] = serial(name)
+        return results
+
+    jobs = _plan_shards(shardable, executor.n_jobs)
+    # LPT order: widest chunk ranges first minimises pool makespan; results
+    # are restored to plan order before merging
+    order = longest_first_order([hi - lo for (_p, _n, lo, hi) in jobs])
+    submitted = [jobs[i] for i in order]
+    wall_start = time.perf_counter()
+    raw = executor.map_with_shared(_profile_shard_job, (num_hashes, mmap), submitted)
+    wall_seconds = time.perf_counter() - wall_start
+    outputs: list = [None] * len(jobs)
+    for pos, index in enumerate(order):
+        outputs[index] = raw[pos]
+
+    by_table: dict[str, list] = {}
+    failed: set[str] = set()
+    for job, out in zip(jobs, outputs):
+        name = job[1]
+        if out is None:
+            failed.add(name)
+        else:
+            by_table.setdefault(name, []).append(out)
+
+    shard_count = 0
+    shard_timings: list[float] = []
+    for name, _entry in shardable:
+        outs = by_table.get(name)
+        if name in failed or not outs:
+            results[name] = serial(name)
+            continue
+        outs.sort(key=lambda out: out[1])  # chunk order (merge-order invariant)
+        fingerprints = {out[3] for out in outs}
+        if len(fingerprints) != 1:
+            # shards straddled a concurrent replace: torn read, recompute
+            results[name] = serial(name)
+            continue
+        merged = outs[0][4]
+        for _name, _lo, _elapsed, _fp, accumulators in outs[1:]:
+            for column, accumulator in accumulators.items():
+                merged[column].merge(accumulator)
+        profiles = {column: acc.finish() for column, acc in merged.items()}
+        cache.store(name, next(iter(fingerprints)), profiles, num_hashes=num_hashes)
+        results[name] = profiles
+        shard_count += len(outs)
+        shard_timings.extend(out[2] for out in outs)
+
+    from repro.observability import get_registry
+
+    registry = get_registry()
+    registry.counter("discovery.shards").inc(shard_count)
+    registry.counter("discovery.tables_sharded").inc(len(shardable) - len(failed))
+    histogram = registry.histogram("discovery.shard_seconds")
+    for elapsed in shard_timings:
+        histogram.observe(elapsed)
+    registry.histogram("discovery.profile_wall_seconds").observe(wall_seconds)
+    return results
 
 
 class RepositorySnapshot:
@@ -599,6 +792,34 @@ class RepositorySnapshot:
             )
         return self._repository.profile_cache.get_or_profile(
             self.get(name), num_hashes=num_hashes
+        )
+
+    def profiles_many(
+        self,
+        names: Iterable[str] | None = None,
+        num_hashes: int = 64,
+        executor=None,
+    ) -> dict[str, dict[str, ColumnProfile]]:
+        """Profile many pinned tables at once, sharding chunk work over
+        ``executor`` (a :class:`~repro.core.executor.JoinExecutor`).
+
+        Byte-identical to calling :meth:`profiles` per table — cache hits,
+        serial executors, and in-memory tables take exactly that path, and
+        sharded results merge to the same canonical profiles — but a wide
+        corpus profiles in parallel from headers + chunk ranges without ever
+        materialising a whole table.
+        """
+        self._check_live()
+        names = list(names) if names is not None else self.table_names
+        return _profiles_many(
+            cache=self._repository.profile_cache,
+            entry_for=self._catalog.get,
+            serial=lambda name: self.profiles(name, num_hashes=num_hashes),
+            in_memory=self._tables,
+            mmap=self._repository._mmap,
+            names=names,
+            num_hashes=num_hashes,
+            executor=executor,
         )
 
     def open_chunks(self, name: str) -> ChunkedTableReader:
@@ -1226,6 +1447,37 @@ class DataRepository:
             )
         return self.profile_cache.get_or_profile(self.get(name), num_hashes=num_hashes)
 
+    def profiles_many(
+        self,
+        names: Iterable[str] | None = None,
+        num_hashes: int = 64,
+        executor=None,
+    ) -> dict[str, dict[str, ColumnProfile]]:
+        """Profile many tables at once, sharding chunk work over ``executor``.
+
+        The corpus-scale sibling of :meth:`profiles`: fingerprint-validated
+        cache hits are answered from headers alone, and the remaining
+        disk-backed tables fan out as per-(table, chunk-range) shard jobs on
+        the given :class:`~repro.core.executor.JoinExecutor`, merged back with
+        :meth:`ColumnProfileAccumulator.merge
+        <repro.discovery.profiles.ColumnProfileAccumulator.merge>` into
+        profiles **byte-identical** to the serial path (MinHash signatures
+        included) regardless of executor backend or shard boundaries.  With
+        ``executor=None`` (or a one-worker executor) every table takes the
+        plain :meth:`profiles` path.
+        """
+        names = list(names) if names is not None else self.table_names
+        return _profiles_many(
+            cache=self.profile_cache,
+            entry_for=self._catalog.get,
+            serial=lambda name: self.profiles(name, num_hashes=num_hashes),
+            in_memory=self._tables,
+            mmap=self._mmap,
+            names=names,
+            num_hashes=num_hashes,
+            executor=executor,
+        )
+
     def open_chunks(self, name: str) -> ChunkedTableReader:
         """Open one disk-backed table for chunk-at-a-time streaming.
 
@@ -1247,8 +1499,10 @@ class DataRepository:
             )
         return open_chunks(entry.path, mmap=self._mmap)
 
-    def rechunk(self, name: str, chunk_rows: int | None = None) -> int:
-        """Rewrite one table's file to a new row-group layout; content unchanged.
+    def rechunk(
+        self, name: str, chunk_rows: int | None = None, sort_by: str | None = None
+    ) -> int:
+        """Rewrite one table's file to a new row-group layout.
 
         ``chunk_rows`` follows :func:`repro.relational.persist.resolve_chunk_rows`
         semantics: an explicit target splits the table into row groups of that
@@ -1258,9 +1512,21 @@ class DataRepository:
         staged-publish protocol as :meth:`replace` — the new layout is staged
         under a layout-tagged content-addressed name, published as the next
         manifest generation, and the old file garbage-collected once
-        unpinned — so concurrent snapshots keep reading the old bytes.  The
-        content fingerprint is invariant under rechunking, so cached profiles
+        unpinned — so concurrent snapshots keep reading the old bytes.
+        Without ``sort_by``, the content fingerprint is invariant (the
+        fingerprint is layout-invariant by construction), so cached profiles
         and LRU entries stay valid.  Returns the published generation.
+
+        ``sort_by`` additionally rewrites the rows ordered by that column
+        (stable, missing values last — :meth:`Table.sort_by` semantics), so
+        zone-map pruning and the streaming join's binary-search chunk window
+        hold on a previously unsorted key.  The sort order is recorded in the
+        header (validated against monotone zones at write time).  The
+        fingerprint *mechanism* stays layout-invariant, but reordering rows
+        is a content change — the sorted file carries a new fingerprint and
+        stale cached profiles simply miss.  Only non-categorical sort keys
+        are supported: categorical zone maps cover dictionary codes, which
+        value-ordering does not make monotone.
         """
         if self._directory is None:
             raise ValueError("rechunk requires a disk-backed repository")
@@ -1274,17 +1540,62 @@ class DataRepository:
             resolved = DEFAULT_STREAM_CHUNK_ROWS
         fingerprint = entry.header.fingerprint
         tag = "m" if chunk_rows == 0 else f"r{resolved}"
+        if sort_by is not None:
+            if sort_by not in entry.header.column_names:
+                raise ValueError(
+                    f"sort_by column {sort_by!r} not in table {name!r} "
+                    f"(columns: {entry.header.column_names})"
+                )
+            if entry.header.schema().type_of(sort_by) is CATEGORICAL:
+                raise ValueError(
+                    f"sort_by column {sort_by!r} is categorical; sort-ordered "
+                    f"zone maps need a numeric/datetime/boolean key"
+                )
+            from hashlib import blake2b
+
+            tag = f"s{blake2b(sort_by.encode('utf-8'), digest_size=4).hexdigest()}{tag}"
         path = self._directory / f"{name}-{fingerprint[:16]}.{tag}{TABLE_SUFFIX}"
         meta = dict(entry.header.meta or {})
         meta["staged"] = True
         reader = open_chunks(entry.path, mmap=self._mmap)
-        if chunk_rows == 0:
+        if sort_by is not None:
+            # global sort order from the key column alone (stable, NaN last —
+            # exactly Table.sort_by); rows then stream out as take-slices so
+            # memory stays bounded by one output chunk plus the key column
+            values = reader.column(sort_by).values
+            order = np.argsort(values, kind="stable")
+            nan_mask = np.isnan(values[order])
+            order = np.concatenate([order[~nan_mask], order[nan_mask]])
+            if chunk_rows == 0:
+                sorted_table = reader.take(order).rename(name)
+                meta["sort_by"] = sort_by
+                header = write_table(sorted_table, path, meta=meta, chunk_rows=0)
+            else:
+                starts = range(0, len(order), max(1, resolved)) if len(order) else [0]
+                slices = (
+                    reader.take(order[lo : lo + resolved]) for lo in starts
+                )
+                header = write_table_stream(
+                    path,
+                    slices,
+                    name=name,
+                    chunk_rows=resolved,
+                    meta=meta,
+                    sort_by=sort_by,
+                )
+            if header.num_rows != entry.header.num_rows:
+                _unlink_quietly(path)
+                raise TableFormatError(
+                    f"sort-rechunk of {name!r} changed the row count "
+                    f"({entry.header.num_rows} -> {header.num_rows}); original kept"
+                )
+        elif chunk_rows == 0:
             header = write_table(reader.table(), path, meta=meta, chunk_rows=0)
         else:
             header = write_table_stream(
                 path, reader.iter_chunks(), name=name, chunk_rows=resolved, meta=meta
             )
-        if header.fingerprint != fingerprint:
+        if sort_by is None and header.fingerprint != fingerprint:
             _unlink_quietly(path)
             raise TableFormatError(
                 f"rechunk of {name!r} changed the content fingerprint "

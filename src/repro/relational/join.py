@@ -18,18 +18,36 @@ are concatenated in chunk order, :func:`streaming_left_join` is equivalent to
 ``left_join`` row for row, while peak memory stays bounded by a chunk wave
 (``memory_budget``) instead of the base table.  Independent chunks of one
 join fan out across any :class:`~repro.core.executor.JoinExecutor` backend.
+
+When the *build* side itself exceeds the memory budget the join switches to
+a Grace-style partitioned mode (:func:`grace_left_join`): both sides are
+hash-partitioned on the key values into spill files
+(:func:`~repro.relational.persist.write_table_stream`), each partition pair
+is joined independently with the same kernels, and the per-partition outputs
+are merged back into base-row order — peak heap stays bounded by one
+partition plus one base chunk, and the output is byte-identical to
+``left_join`` (same values, same dictionaries).  Sources whose file is
+sort-ordered on a join key (``sort_by``) prune their candidate chunk range
+with two binary searches over the zone bounds instead of scanning every zone
+entry.
 """
 
 from __future__ import annotations
 
+import shutil
+import tempfile
+import threading
 from dataclasses import dataclass, field
+from hashlib import blake2b
+from pathlib import Path
+from queue import Queue
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.relational.aggregate import group_by_aggregate, is_unique_on
 from repro.relational.column import Column, remap_dictionary
-from repro.relational.schema import CATEGORICAL, Schema
+from repro.relational.schema import CATEGORICAL, NUMERIC, Schema
 from repro.relational.table import Table, unique_name
 
 
@@ -301,6 +319,12 @@ class StreamJoinStats:
     rows_total: int = 0
     rows_probed: int = 0
     rows_matched: int = 0
+    # Grace spill accounting (zero for joins that never partitioned):
+    # partitions used, and payload bytes written to / read back from spill
+    # files across both sides and the per-partition outputs.
+    spill_partitions: int = 0
+    spill_bytes_written: int = 0
+    spill_bytes_read: int = 0
 
     @property
     def chunks_pruned(self) -> int:
@@ -321,6 +345,9 @@ class StreamJoinStats:
             rows_total=self.rows_total + other.rows_total,
             rows_probed=self.rows_probed + other.rows_probed,
             rows_matched=self.rows_matched + other.rows_matched,
+            spill_partitions=self.spill_partitions + other.spill_partitions,
+            spill_bytes_written=self.spill_bytes_written + other.spill_bytes_written,
+            spill_bytes_read=self.spill_bytes_read + other.spill_bytes_read,
         )
 
     def record_to(self, registry=None, prefix: str = "stream_join") -> None:
@@ -341,6 +368,12 @@ class StreamJoinStats:
         registry.counter(f"{prefix}.rows_total").inc(self.rows_total)
         registry.counter(f"{prefix}.rows_probed").inc(self.rows_probed)
         registry.counter(f"{prefix}.rows_matched").inc(self.rows_matched)
+        # spill accounting lives under a fixed namespace so `/metrics` readers
+        # find one `join.spill.*` family no matter which prefix the caller used
+        if self.spill_partitions or self.spill_bytes_written or self.spill_bytes_read:
+            registry.counter("join.spill.partitions").inc(self.spill_partitions)
+            registry.counter("join.spill.bytes_written").inc(self.spill_bytes_written)
+            registry.counter("join.spill.bytes_read").inc(self.spill_bytes_read)
 
 
 class _TableChunkSource:
@@ -435,6 +468,152 @@ def as_chunk_source(source, chunk_rows: int | None = None):
     )
 
 
+class KeyRangePruner:
+    """Zone-map pruning against a build side known only by its key ranges.
+
+    Decouples "can any row of this chunk match?" from holding the build table
+    itself: :class:`StreamingHashJoin` instantiates one from the prepared
+    right table, and the Grace spill join instantiates one from ranges
+    gathered while streaming the right side — without ever materialising it.
+
+    ``ranges`` holds one entry per key pair: ``("num", lo, hi)`` for numeric
+    keys with at least one valid value, ``("num-empty",)`` when the build key
+    has no valid value, and ``("cat", values)`` with the build side's distinct
+    strings for categorical keys.
+    """
+
+    def __init__(self, on, left_schema: Schema, ranges: Sequence[tuple]):
+        self.on = [(left, right) for left, right in on]
+        self.left_keys = [pair[0] for pair in self.on]
+        self.left_schema = left_schema
+        self.ranges = list(ranges)
+        self._base_code_cache: dict[str, np.ndarray] = {}
+
+    @property
+    def cat_keys(self) -> list[str]:
+        """Left key columns that need a source dictionary at prune time."""
+        return [
+            key
+            for key in self.left_keys
+            if self.left_schema.type_of(key) is CATEGORICAL
+        ]
+
+    def chunk_may_match(self, zones, dictionaries) -> bool:
+        """Whether any row of a chunk with these zones can match the build side.
+
+        ``zones`` is the chunk's per-column ``(min, max)`` map (``None`` when
+        the source carries no zone map — never prune then); ``dictionaries``
+        maps categorical left-key names to the source's file-level dictionary.
+        Conservative by construction: ``True`` on any uncertainty.
+        """
+        if zones is None:
+            return True
+        for (left_key, _right_key), rng in zip(self.on, self.ranges):
+            zone = zones.get(left_key)
+            if zone is None:
+                # the chunk holds no valid value for this key: no row matches
+                return False
+            left_is_cat = self.left_schema.type_of(left_key) is CATEGORICAL
+            if left_is_cat != (rng[0] == "cat"):
+                return False  # categorical never equals numeric
+            if rng[0] == "num-empty":
+                return False
+            lo, hi = zone
+            if rng[0] == "num":
+                if lo > rng[2] or hi < rng[1]:
+                    return False
+            else:
+                base_codes = self._base_key_codes(left_key, dictionaries[left_key])
+                if not len(base_codes):
+                    return False
+                pos = int(np.searchsorted(base_codes, lo))
+                if pos >= len(base_codes) or base_codes[pos] > hi:
+                    return False
+        return True
+
+    def _base_key_codes(self, left_key: str, dictionary: np.ndarray) -> np.ndarray:
+        """Sorted base-dictionary codes of the build side's key values."""
+        cached = self._base_code_cache.get(left_key)
+        if cached is None:
+            rng = self.ranges[self.left_keys.index(left_key)]
+            index = {text: code for code, text in enumerate(dictionary)}
+            codes = [index[text] for text in rng[1] if text in index]
+            cached = np.sort(np.asarray(codes, dtype=np.int64))
+            self._base_code_cache[left_key] = cached
+        return cached
+
+    def sorted_window(self, source) -> tuple[int, int] | None:
+        """Half-open candidate chunk range of a sort-ordered source, or ``None``.
+
+        When the source file is ordered by a numeric left key
+        (``source.sort_by``), two binary searches over the per-chunk zone
+        bounds replace the linear zone scan: every chunk outside the returned
+        window provably cannot match (chunks inside still go through
+        :meth:`chunk_may_match` for the remaining keys).  ``None`` means the
+        fast path does not apply — prune chunk-by-chunk as before.
+        """
+        sort_key = getattr(source, "sort_by", None)
+        if sort_key is None or sort_key not in self.left_keys:
+            return None
+        bounds_of = getattr(source, "zone_bounds", None)
+        if bounds_of is None:
+            return None
+        if self.left_schema.type_of(sort_key) is CATEGORICAL:
+            return None
+        rng = self.ranges[self.left_keys.index(sort_key)]
+        if rng[0] != "num":
+            # empty or type-mismatched build key: nothing can ever match
+            return (0, 0)
+        bounds = bounds_of(sort_key)
+        if bounds is None:
+            return None
+        mins, maxes = bounds
+        # maxes non-decreasing: chunks whose max >= lo form a suffix;
+        # mins non-decreasing: chunks whose min <= hi form a prefix
+        first = int(np.searchsorted(maxes, rng[1], side="left"))
+        last = int(np.searchsorted(mins, rng[2], side="right"))
+        return (first, max(first, last))
+
+
+def build_key_ranges(key_columns: Sequence[Column]) -> list[tuple]:
+    """The :class:`KeyRangePruner` ranges of one prepared build side."""
+    ranges: list[tuple] = []
+    for rcol in key_columns:
+        if rcol.ctype is CATEGORICAL:
+            codes = rcol.codes
+            present = np.unique(codes[codes >= 0])
+            ranges.append(("cat", [rcol.dictionary[c] for c in present]))
+        else:
+            values = rcol.values
+            valid = values[~np.isnan(values)]
+            if len(valid):
+                ranges.append(("num", float(valid.min()), float(valid.max())))
+            else:
+                ranges.append(("num-empty",))
+    return ranges
+
+
+def _pruned_flags(source, pruner: KeyRangePruner, prune: bool) -> list[bool]:
+    """Per-chunk "provably cannot match" flags for one source.
+
+    Combines the sorted binary-search window (when the source is
+    sort-ordered on a numeric key) with the per-chunk zone checks; without a
+    window this is exactly the previous linear zone scan.
+    """
+    n = source.num_chunks
+    if not prune:
+        return [False] * n
+    window = pruner.sorted_window(source)
+    dictionaries = {key: source.dictionary(key) for key in pruner.cat_keys}
+    flags: list[bool] = []
+    for index in range(n):
+        if window is not None and not (window[0] <= index < window[1]):
+            flags.append(True)
+            continue
+        flags.append(not pruner.chunk_may_match(source.zones(index), dictionaries))
+    return flags
+
+
 @dataclass
 class StreamingHashJoin:
     """Build-once probe-many LEFT join against one prepared right table.
@@ -481,20 +660,9 @@ class StreamingHashJoin:
         # over valid values; categorical keys keep their distinct strings (a
         # chunk's code zone is translated through the base dictionary at prune
         # time).  An empty range means no base row can ever match.
-        self._ranges: list[tuple] = []
-        for rcol in self.right_key_columns:
-            if rcol.ctype is CATEGORICAL:
-                codes = rcol.codes
-                present = np.unique(codes[codes >= 0])
-                self._ranges.append(("cat", [rcol.dictionary[c] for c in present]))
-            else:
-                values = rcol.values
-                valid = values[~np.isnan(values)]
-                if len(valid):
-                    self._ranges.append(("num", float(valid.min()), float(valid.max())))
-                else:
-                    self._ranges.append(("num-empty",))
-        self._base_code_cache: dict[str, np.ndarray] = {}
+        self.pruner = KeyRangePruner(
+            self.on, self.left_schema, build_key_ranges(self.right_key_columns)
+        )
 
     @property
     def output_names(self) -> list[str]:
@@ -504,48 +672,8 @@ class StreamingHashJoin:
     # -- zone pruning ----------------------------------------------------------
 
     def chunk_may_match(self, zones, dictionaries) -> bool:
-        """Whether any row of a chunk with these zones can match the build side.
-
-        ``zones`` is the chunk's per-column ``(min, max)`` map (``None`` when
-        the source carries no zone map — never prune then); ``dictionaries``
-        maps categorical left-key names to the source's file-level dictionary.
-        Conservative by construction: ``True`` on any uncertainty.
-        """
-        if zones is None:
-            return True
-        for (left_key, _right_key), rng in zip(self.on, self._ranges):
-            zone = zones.get(left_key)
-            if zone is None:
-                # the chunk holds no valid value for this key: no row matches
-                return False
-            left_is_cat = self.left_schema.type_of(left_key) is CATEGORICAL
-            if left_is_cat != (rng[0] == "cat"):
-                return False  # categorical never equals numeric
-            if rng[0] == "num-empty":
-                return False
-            lo, hi = zone
-            if rng[0] == "num":
-                if lo > rng[2] or hi < rng[1]:
-                    return False
-            else:
-                base_codes = self._base_key_codes(left_key, dictionaries[left_key])
-                if not len(base_codes):
-                    return False
-                pos = int(np.searchsorted(base_codes, lo))
-                if pos >= len(base_codes) or base_codes[pos] > hi:
-                    return False
-        return True
-
-    def _base_key_codes(self, left_key: str, dictionary: np.ndarray) -> np.ndarray:
-        """Sorted base-dictionary codes of the build side's key values."""
-        cached = self._base_code_cache.get(left_key)
-        if cached is None:
-            rng = self._ranges[self.left_keys.index(left_key)]
-            index = {text: code for code, text in enumerate(dictionary)}
-            codes = [index[text] for text in rng[1] if text in index]
-            cached = np.sort(np.asarray(codes, dtype=np.int64))
-            self._base_code_cache[left_key] = cached
-        return cached
+        """See :meth:`KeyRangePruner.chunk_may_match` (delegated)."""
+        return self.pruner.chunk_may_match(zones, dictionaries)
 
     # -- per-chunk kernels -----------------------------------------------------
 
@@ -643,9 +771,16 @@ def _chunk_waves(
     return waves
 
 
+def estimate_source_nbytes(source) -> int:
+    """Approximate payload bytes of a chunk source (page bytes when file-backed,
+    an 8-bytes-per-cell estimate for in-memory tables) — the spill trigger."""
+    source = as_chunk_source(source)
+    return sum(source.chunk_nbytes(index) for index in range(source.num_chunks))
+
+
 def iter_streaming_left_join(
     source,
-    right: Table,
+    right,
     on: Sequence[tuple[str, str]],
     suffix: str = "_r",
     aggregate_duplicates: bool = True,
@@ -655,20 +790,48 @@ def iter_streaming_left_join(
     memory_budget: int | None = None,
     prune: bool = True,
     stats: StreamJoinStats | None = None,
+    spill_partitions: int | None = None,
+    spill_dir: str | Path | None = None,
 ) -> Iterator[Table]:
     """Yield the LEFT join of ``source`` (chunked) against ``right``, one
     output chunk at a time in base order.
 
     ``source`` is a :class:`~repro.relational.persist.ChunkedTableReader` or a
-    :class:`Table`.  The build side is prepared once; each base chunk is then
-    probed independently — skipped entirely when its zone map cannot intersect
-    the build side's key range (``prune``) — and chunks are dispatched in
-    waves whose estimated working set fits ``memory_budget`` bytes, fanned out
-    over ``executor`` (any :class:`~repro.core.executor.JoinExecutor`).
+    :class:`Table`; ``right`` may be either as well.  The build side is
+    prepared once; each base chunk is then probed independently — skipped
+    entirely when its zone map cannot intersect the build side's key range
+    (``prune``; sort-ordered sources binary-search their candidate chunk
+    range) — and chunks are dispatched in waves whose estimated working set
+    fits ``memory_budget`` bytes, fanned out over ``executor`` (any
+    :class:`~repro.core.executor.JoinExecutor`).  A build side whose
+    estimated bytes exceed ``memory_budget`` (or an explicit
+    ``spill_partitions``) is never materialised: the join runs in the
+    Grace-partitioned spill mode (:func:`iter_grace_left_join`) instead.
     Concatenating the yielded chunks reproduces ``left_join(source.table(),
     right, on)`` row for row; pass ``stats`` to collect pruning accounting.
     """
     source = as_chunk_source(source)
+    spill = spill_partitions is not None and spill_partitions > 1
+    if not spill and memory_budget is not None:
+        spill = estimate_source_nbytes(right) > memory_budget
+    if spill:
+        yield from iter_grace_left_join(
+            source,
+            right,
+            on,
+            suffix=suffix,
+            aggregate_duplicates=aggregate_duplicates,
+            numeric_agg=numeric_agg,
+            categorical_agg=categorical_agg,
+            num_partitions=spill_partitions,
+            memory_budget=memory_budget,
+            spill_dir=spill_dir,
+            prune=prune,
+            stats=stats,
+        )
+        return
+    if not isinstance(right, Table):
+        right = as_chunk_source(right).table()
     joiner = StreamingHashJoin(
         right,
         on,
@@ -683,15 +846,7 @@ def iter_streaming_left_join(
     stats.chunks_total += source.num_chunks
     stats.rows_total += source.num_rows
 
-    cat_keys = [
-        key for key in joiner.left_keys
-        if source.schema().type_of(key) is CATEGORICAL
-    ]
-    pruned: list[bool] = []
-    for index in range(source.num_chunks):
-        zones = source.zones(index) if prune else None
-        dictionaries = {key: source.dictionary(key) for key in cat_keys}
-        pruned.append(not joiner.chunk_may_match(zones, dictionaries))
+    pruned = _pruned_flags(source, joiner.pruner, prune)
 
     extra_row_bytes = 8 * (len(joiner.output) + 2 * len(joiner.on))
     costs = []
@@ -731,7 +886,7 @@ def iter_streaming_left_join(
 
 def streaming_left_join(
     source,
-    right: Table,
+    right,
     on: Sequence[tuple[str, str]],
     suffix: str = "_r",
     aggregate_duplicates: bool = True,
@@ -740,14 +895,18 @@ def streaming_left_join(
     executor=None,
     memory_budget: int | None = None,
     prune: bool = True,
+    spill_partitions: int | None = None,
+    spill_dir: str | Path | None = None,
 ) -> tuple[Table, StreamJoinStats]:
     """LEFT-join a chunked source against ``right``, materialising the result.
 
     Equivalent to ``left_join(source.table(), right, on)`` — the same probe
     and gather kernels run per chunk and concatenate in chunk order — but the
     build side is prepared once, chunks stream under ``memory_budget``, and
-    zone-map pruning skips chunks that cannot match.  Returns the joined
-    table plus the pruning stats.  (The output itself is in memory; use
+    zone-map pruning skips chunks that cannot match.  A build side larger
+    than the budget runs in Grace spill mode (identical output; see
+    :func:`grace_left_join`).  Returns the joined table plus the pruning
+    stats.  (The output itself is in memory; use
     :func:`repro.relational.persist.write_table_stream` over
     :func:`iter_streaming_left_join` to keep the result out-of-core.)
     """
@@ -763,6 +922,564 @@ def streaming_left_join(
             categorical_agg=categorical_agg,
             executor=executor,
             memory_budget=memory_budget,
+            prune=prune,
+            stats=stats,
+            spill_partitions=spill_partitions,
+            spill_dir=spill_dir,
+        )
+    )
+    if len(parts) == 1:
+        return parts[0], stats
+    from repro.relational.column import concat_columns
+
+    columns = [
+        concat_columns([part.column(name) for part in parts])
+        for name in parts[0].column_names
+    ]
+    return Table(columns, name=parts[0].name), stats
+
+
+# -- Grace-partitioned spill join ---------------------------------------------
+
+
+_HASH_MISSING = np.uint64(0x9E3779B97F4A7C15)
+_SPILL_DONE = object()
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """splitmix64 finaliser over a uint64 array (vectorised, wrapping)."""
+    with np.errstate(over="ignore"):
+        x = x ^ (x >> np.uint64(33))
+        x = x * np.uint64(0xFF51AFD7ED558CCD)
+        x = x ^ (x >> np.uint64(33))
+        x = x * np.uint64(0xC4CEB9FE1A85EC53)
+        x = x ^ (x >> np.uint64(33))
+    return x
+
+
+def _key_hash_tokens(column: Column) -> np.ndarray:
+    """Deterministic per-row uint64 tokens over one key column's *values*.
+
+    Hashes values, never codes: categorical entries hash their UTF-8 text
+    (both join sides agree no matter how their dictionaries assign codes),
+    numerics hash their float64 bits with ``-0.0`` normalised to ``+0.0``
+    (the probe kernels treat them equal, so they must co-partition).  Missing
+    values map to a fixed sentinel — they never match anything, but left rows
+    must still land in exactly one partition.
+    """
+    if column.ctype is CATEGORICAL:
+        entry_hash = np.array(
+            [
+                int.from_bytes(
+                    blake2b(str(text).encode("utf-8"), digest_size=8).digest(),
+                    "little",
+                )
+                for text in column.dictionary
+            ],
+            dtype=np.uint64,
+        )
+        codes = column.codes
+        tokens = np.full(len(codes), _HASH_MISSING, dtype=np.uint64)
+        valid = codes >= 0
+        if valid.any():
+            tokens[valid] = entry_hash[codes[valid]]
+        return tokens
+    values = np.asarray(column.values, dtype=np.float64) + 0.0  # -0.0 -> +0.0
+    tokens = values.view(np.uint64).copy()
+    tokens[np.isnan(values)] = _HASH_MISSING
+    return tokens
+
+
+def _partition_ids(
+    key_columns: Sequence[Column], num_partitions: int
+) -> np.ndarray:
+    """Partition id per row, identical for equal composite key values on both
+    sides of a join (position-salted so symmetric keys don't cancel)."""
+    acc = np.zeros(len(key_columns[0]), dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        for position, column in enumerate(key_columns):
+            salt = np.uint64(0x9E3779B97F4A7C15) * np.uint64(position + 1)
+            acc = _mix64(acc ^ _mix64(_key_hash_tokens(column) ^ salt))
+    return (acc % np.uint64(num_partitions)).astype(np.int64)
+
+
+class _PartitionSpiller:
+    """Fan one pass of row slices out to per-partition spill files.
+
+    Each partition lazily starts a writer thread running
+    :func:`~repro.relational.persist.write_table_stream` over a bounded queue
+    the moment its first rows arrive — a partition that never receives a row
+    never creates a file (``write_table_stream`` rejects empty streams).
+    Writer errors are surfaced by :meth:`finish`; a failed writer keeps
+    draining its queue so the producer never deadlocks.
+    """
+
+    def __init__(self, directory: Path, stem: str, num_partitions: int, chunk_rows: int):
+        self._dir = Path(directory)
+        self._stem = stem
+        self._chunk_rows = chunk_rows
+        self._queues: list[Queue | None] = [None] * num_partitions
+        self._threads: list[threading.Thread | None] = [None] * num_partitions
+        self._errors: list[BaseException | None] = [None] * num_partitions
+        self.headers: list = [None] * num_partitions
+        self._finished = False
+
+    def path(self, partition: int) -> Path:
+        return self._dir / f"{self._stem}-{partition:05d}.tbl"
+
+    def push(self, partition: int, part: Table) -> None:
+        queue = self._queues[partition]
+        if queue is None:
+            queue = Queue(maxsize=2)
+            self._queues[partition] = queue
+            thread = threading.Thread(
+                target=self._writer, args=(partition,), daemon=True
+            )
+            self._threads[partition] = thread
+            thread.start()
+        queue.put(part)
+
+    def _writer(self, partition: int) -> None:
+        from repro.relational.persist import write_table_stream
+
+        queue = self._queues[partition]
+        try:
+            self.headers[partition] = write_table_stream(
+                self.path(partition),
+                iter(queue.get, _SPILL_DONE),
+                chunk_rows=self._chunk_rows,
+            )
+        except BaseException as exc:  # surfaced by finish()
+            self._errors[partition] = exc
+            while queue.get() is not _SPILL_DONE:
+                pass
+
+    def finish(self, check: bool = True) -> list[Path | None]:
+        """Close all writers; return per-partition paths (``None`` = empty)."""
+        if not self._finished:
+            self._finished = True
+            for queue in self._queues:
+                if queue is not None:
+                    queue.put(_SPILL_DONE)
+            for thread in self._threads:
+                if thread is not None:
+                    thread.join()
+        if check:
+            for error in self._errors:
+                if error is not None:
+                    raise error
+        return [
+            self.path(p) if self._queues[p] is not None else None
+            for p in range(len(self._queues))
+        ]
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(h.pages_nbytes for h in self.headers if h is not None)
+
+
+def _align_to_dictionaries(
+    table: Table,
+    dictionaries: dict[str, np.ndarray],
+    indexes: dict[str, dict[str, int]],
+) -> Table:
+    """Re-express a spill partition's categorical codes in the global
+    dictionaries of the right source, so per-partition joins gather columns
+    carrying exactly the codes and dictionaries ``left_join`` would."""
+    columns = []
+    for col in table.columns():
+        target = dictionaries.get(col.name)
+        if col.ctype is CATEGORICAL and target is not None:
+            translate = remap_dictionary(col.dictionary, indexes[col.name])
+            columns.append(Column.from_codes(col.name, translate[col.codes], target))
+        else:
+            columns.append(col)
+    return Table(columns, name=table.name)
+
+
+class _SpillOutputCursor:
+    """Sequential reader over one partition's ``(rowid, outputs)`` spill file.
+
+    Row ids are globally ascending within each file (the left pass preserves
+    base order), so the merge phase pulls each partition's rows for one base
+    chunk with a single ``searchsorted`` and never rewinds.
+    """
+
+    def __init__(self, path: Path, rowid: str):
+        from repro.relational.persist import open_chunks
+
+        self._reader = open_chunks(path, mmap=False)
+        self._rowid = rowid
+        self._iter = self._reader.iter_chunks()
+        self._current: Table | None = None
+        self._offset = 0
+        self._translate: dict[str, np.ndarray] = {}
+
+    @property
+    def bytes_total(self) -> int:
+        return self._reader.header.pages_nbytes
+
+    def translate(self, name: str, index: dict[str, int]) -> np.ndarray:
+        """Cached code translation from this file's dictionary to the global
+        one (the extra trailing slot maps -1 to -1)."""
+        cached = self._translate.get(name)
+        if cached is None:
+            cached = remap_dictionary(self._reader.dictionary(name), index)
+            self._translate[name] = cached
+        return cached
+
+    def pull(self, stop: float) -> Iterator[Table]:
+        """Yield maximal slices with ``rowid < stop``, advancing the cursor."""
+        while True:
+            if self._current is None:
+                self._current = next(self._iter, None)
+                self._offset = 0
+                if self._current is None:
+                    return
+            rowids = self._current.column(self._rowid).values
+            end = int(np.searchsorted(rowids, stop, side="left"))
+            if end > self._offset:
+                yield self._current.take(np.arange(self._offset, end))
+                self._offset = end
+            if end < len(rowids):
+                return
+            self._current = None
+
+
+def iter_grace_left_join(
+    source,
+    right,
+    on: Sequence[tuple[str, str]],
+    suffix: str = "_r",
+    aggregate_duplicates: bool = True,
+    numeric_agg: str = "mean",
+    categorical_agg: str = "mode",
+    num_partitions: int | None = None,
+    memory_budget: int | None = None,
+    spill_dir: str | Path | None = None,
+    prune: bool = True,
+    stats: StreamJoinStats | None = None,
+) -> Iterator[Table]:
+    """Grace-partitioned LEFT join: build side never materialised in full.
+
+    Both sides are hash-partitioned on their key *values* into spill files
+    (one streaming pass each; the left side spills only its key columns plus
+    a row id, and only for rows that survive zone pruning and have no missing
+    key part).  Each partition pair is then joined independently with the
+    standard :class:`StreamingHashJoin` kernels — a key's rows land in the
+    same partition on both sides, so per-partition pre-aggregation and
+    first-match semantics equal the global ones — and the per-partition
+    outputs are merged back into base order by scattering on the row id.
+    Peak heap is bounded by one partition plus one base chunk; the yielded
+    chunks concatenate to exactly ``left_join(source.table(),
+    right.table(), on)`` — same values, same dictionaries.
+
+    ``num_partitions`` defaults to ``ceil(right bytes / memory_budget)``.
+    Spill files live in a fresh temporary directory under ``spill_dir``
+    (default: the system temp dir) and are removed before the iterator is
+    exhausted.
+    """
+    from repro.relational.persist import (
+        DEFAULT_STREAM_CHUNK_ROWS,
+        open_chunks,
+        read_table,
+        write_table_stream,
+    )
+
+    if not on:
+        raise ValueError("grace join requires at least one key pair")
+    source = as_chunk_source(source)
+    right_source = as_chunk_source(right)
+    on = [(left, right_key) for left, right_key in on]
+    left_keys = [pair[0] for pair in on]
+    right_keys = [pair[1] for pair in on]
+    left_schema = source.schema()
+    right_schema = right_source.schema()
+    for key in left_keys:
+        if key not in left_schema:
+            raise KeyError(f"left source has no key column {key!r}")
+    for key in right_keys:
+        if key not in right_schema:
+            raise KeyError(f"right source has no key column {key!r}")
+
+    right_nbytes = estimate_source_nbytes(right_source)
+    if num_partitions is None:
+        budget = memory_budget if memory_budget and memory_budget > 0 else None
+        num_partitions = -(-right_nbytes // budget) if budget else 1
+    num_partitions = int(max(1, min(num_partitions, 512)))
+    if stats is None:
+        stats = StreamJoinStats()
+    stats.chunks_total += source.num_chunks
+    stats.rows_total += source.num_rows
+    stats.spill_partitions += num_partitions
+
+    # spill row groups sized so all partition writers' re-batch buffers stay
+    # well under the budget together
+    row_nbytes = 8 * max(1, len(right_schema.names))
+    if memory_budget and memory_budget > 0:
+        spill_chunk_rows = int(memory_budget // (2 * num_partitions * row_nbytes))
+        spill_chunk_rows = max(256, min(DEFAULT_STREAM_CHUNK_ROWS, spill_chunk_rows))
+    else:
+        spill_chunk_rows = DEFAULT_STREAM_CHUNK_ROWS
+
+    base_dir = Path(spill_dir) if spill_dir is not None else None
+    if base_dir is not None:
+        base_dir.mkdir(parents=True, exist_ok=True)
+    tmp_dir = Path(tempfile.mkdtemp(prefix="arda-spill-", dir=base_dir))
+    spillers: list[_PartitionSpiller] = []
+    try:
+        # -- phase 1: partition the right side, gathering its key ranges ------
+        right_spiller = _PartitionSpiller(
+            tmp_dir, "right", num_partitions, spill_chunk_rows
+        )
+        spillers.append(right_spiller)
+        num_lo = [np.inf] * len(on)
+        num_hi = [-np.inf] * len(on)
+        num_any = [False] * len(on)
+        for chunk in right_source.iter_chunks():
+            key_cols = [chunk.column(k) for k in right_keys]
+            valid = np.ones(chunk.num_rows, dtype=bool)
+            for pos, col in enumerate(key_cols):
+                valid &= ~col.missing_mask()
+                if col.ctype is not CATEGORICAL:
+                    values = col.values[~np.isnan(col.values)]
+                    if len(values):
+                        num_any[pos] = True
+                        num_lo[pos] = min(num_lo[pos], float(values.min()))
+                        num_hi[pos] = max(num_hi[pos], float(values.max()))
+            if not valid.any():
+                continue  # rows with a missing key part can never match
+            ids = _partition_ids(key_cols, num_partitions)
+            for p in np.unique(ids[valid]):
+                rows = np.nonzero(valid & (ids == p))[0]
+                right_spiller.push(int(p), chunk.take(rows))
+        right_paths = right_spiller.finish()
+        stats.spill_bytes_written += right_spiller.bytes_written
+
+        # build-side key ranges for pruning, without the build side: numeric
+        # ranges ran along the pass; categorical keys use the right source's
+        # file-level dictionary (a conservative superset of present values)
+        ranges: list[tuple] = []
+        for pos, right_key in enumerate(right_keys):
+            if right_schema.type_of(right_key) is CATEGORICAL:
+                ranges.append(
+                    ("cat", [str(t) for t in right_source.dictionary(right_key)])
+                )
+            elif num_any[pos]:
+                ranges.append(("num", num_lo[pos], num_hi[pos]))
+            else:
+                ranges.append(("num-empty",))
+        pruner = KeyRangePruner(on, left_schema, ranges)
+        pruned = _pruned_flags(source, pruner, prune)
+
+        # -- phase 2: partition the left side's keys + row ids ----------------
+        left_key_names = list(dict.fromkeys(left_keys))
+        rowid_name = unique_name(
+            "__grace_rowid__", set(left_schema.names) | set(right_schema.names), "_"
+        )
+        left_spiller = _PartitionSpiller(
+            tmp_dir, "left", num_partitions, spill_chunk_rows
+        )
+        spillers.append(left_spiller)
+        for index in range(source.num_chunks):
+            if pruned[index]:
+                continue
+            start, stop = source.chunk_row_range(index)
+            chunk = source.chunk(index, columns=left_key_names)
+            stats.chunks_probed += 1
+            stats.rows_probed += chunk.num_rows
+            key_cols = [chunk.column(k) for k in left_keys]
+            valid = np.ones(chunk.num_rows, dtype=bool)
+            for col in key_cols:
+                valid &= ~col.missing_mask()
+            if not valid.any():
+                continue
+            ids = _partition_ids(key_cols, num_partitions)
+            rowid_all = np.arange(start, stop, dtype=np.float64)
+            for p in np.unique(ids[valid]):
+                rows = np.nonzero(valid & (ids == p))[0]
+                part = chunk.take(rows)
+                columns = [
+                    Column.from_array(rowid_name, rowid_all[rows], NUMERIC)
+                ] + list(part.columns())
+                left_spiller.push(int(p), Table(columns, name="left-keys"))
+        left_paths = left_spiller.finish()
+        stats.spill_bytes_written += left_spiller.bytes_written
+
+        # -- output naming and dictionaries, from an empty reference build ----
+        right_dicts = {
+            name: right_source.dictionary(name)
+            for name in right_schema.names
+            if right_schema.type_of(name) is CATEGORICAL
+        }
+        right_indexes = {
+            name: {str(text): code for code, text in enumerate(dictionary)}
+            for name, dictionary in right_dicts.items()
+        }
+
+        def empty_right_table() -> Table:
+            columns = []
+            for name in right_schema.names:
+                if right_schema.type_of(name) is CATEGORICAL:
+                    columns.append(
+                        Column.from_codes(
+                            name, np.empty(0, dtype=np.int32), right_dicts[name]
+                        )
+                    )
+                else:
+                    columns.append(
+                        Column.from_array(
+                            name,
+                            np.empty(0, dtype=np.float64),
+                            right_schema.type_of(name),
+                        )
+                    )
+            return Table(columns, name=right_source.name)
+
+        reference = StreamingHashJoin(
+            empty_right_table(),
+            on,
+            left_schema,
+            suffix=suffix,
+            aggregate_duplicates=aggregate_duplicates,
+            numeric_agg=numeric_agg,
+            categorical_agg=categorical_agg,
+        )
+        out_pairs = reference.output
+        output_ctypes = {
+            out_name: right_schema.type_of(right_name)
+            for right_name, out_name in out_pairs
+        }
+        output_dicts = {
+            out_name: right_dicts[right_name]
+            for right_name, out_name in out_pairs
+            if output_ctypes[out_name] is CATEGORICAL
+        }
+        output_indexes = {
+            out_name: right_indexes[right_name]
+            for right_name, out_name in out_pairs
+            if output_ctypes[out_name] is CATEGORICAL
+        }
+
+        # -- phase 3: join each partition pair, spilling (rowid, outputs) -----
+        def join_partition(partition: int) -> Path | None:
+            right_path, left_path = right_paths[partition], left_paths[partition]
+            if right_path is None or left_path is None:
+                # nothing to match: those left rows stay all-NULL in the merge
+                return None
+            right_part = _align_to_dictionaries(
+                read_table(right_path, mmap=False), right_dicts, right_indexes
+            )
+            stats.spill_bytes_read += right_spiller.headers[partition].pages_nbytes
+            stats.spill_bytes_read += left_spiller.headers[partition].pages_nbytes
+            joiner = StreamingHashJoin(
+                right_part,
+                on,
+                left_schema,
+                suffix=suffix,
+                aggregate_duplicates=aggregate_duplicates,
+                numeric_agg=numeric_agg,
+                categorical_agg=categorical_agg,
+            )
+            reader = open_chunks(left_path, mmap=False)
+
+            def parts() -> Iterator[Table]:
+                for chunk in reader.iter_chunks():
+                    match_index = joiner.probe_chunk(chunk)
+                    stats.rows_matched += int((match_index >= 0).sum())
+                    gathered = joiner.gather(match_index)
+                    yield Table(
+                        [chunk.column(rowid_name)] + gathered, name="grace-out"
+                    )
+
+            out_path = tmp_dir / f"out-{partition:05d}.tbl"
+            header = write_table_stream(
+                out_path, parts(), chunk_rows=spill_chunk_rows
+            )
+            stats.spill_bytes_written += header.pages_nbytes
+            stats.spill_bytes_read += header.pages_nbytes  # merged back below
+            return out_path
+
+        cursors = []
+        for partition in range(num_partitions):
+            out_path = join_partition(partition)
+            if out_path is not None:
+                cursors.append(_SpillOutputCursor(out_path, rowid_name))
+
+        # -- phase 4: merge per-partition outputs back into base order --------
+        for index in range(source.num_chunks):
+            start, stop = source.chunk_row_range(index)
+            rows = stop - start
+            chunk = source.chunk(index)
+            arrays: dict[str, np.ndarray] = {}
+            for _right_name, out_name in out_pairs:
+                if output_ctypes[out_name] is CATEGORICAL:
+                    arrays[out_name] = np.full(rows, -1, dtype=np.int32)
+                else:
+                    arrays[out_name] = np.full(rows, np.nan, dtype=np.float64)
+            for cursor in cursors:
+                for part in cursor.pull(stop):
+                    ids = (part.column(rowid_name).values - start).astype(np.int64)
+                    for _right_name, out_name in out_pairs:
+                        col = part.column(out_name)
+                        if output_ctypes[out_name] is CATEGORICAL:
+                            translate = cursor.translate(
+                                out_name, output_indexes[out_name]
+                            )
+                            arrays[out_name][ids] = translate[col.codes]
+                        else:
+                            arrays[out_name][ids] = col.values
+            out_columns = []
+            for _right_name, out_name in out_pairs:
+                ctype = output_ctypes[out_name]
+                if ctype is CATEGORICAL:
+                    out_columns.append(
+                        Column.from_codes(
+                            out_name, arrays[out_name], output_dicts[out_name]
+                        )
+                    )
+                else:
+                    out_columns.append(
+                        Column.from_array(out_name, arrays[out_name], ctype)
+                    )
+            yield Table(list(chunk.columns()) + out_columns, name=source.name)
+    finally:
+        for spiller in spillers:
+            spiller.finish(check=False)
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+
+
+def grace_left_join(
+    source,
+    right,
+    on: Sequence[tuple[str, str]],
+    suffix: str = "_r",
+    aggregate_duplicates: bool = True,
+    numeric_agg: str = "mean",
+    categorical_agg: str = "mode",
+    num_partitions: int | None = None,
+    memory_budget: int | None = None,
+    spill_dir: str | Path | None = None,
+    prune: bool = True,
+) -> tuple[Table, StreamJoinStats]:
+    """Materialised :func:`iter_grace_left_join`; returns (table, stats).
+
+    Byte-identical to ``left_join(source.table(), right.table(), on)`` for
+    every partition count, including 1.
+    """
+    stats = StreamJoinStats()
+    parts = list(
+        iter_grace_left_join(
+            source,
+            right,
+            on,
+            suffix=suffix,
+            aggregate_duplicates=aggregate_duplicates,
+            numeric_agg=numeric_agg,
+            categorical_agg=categorical_agg,
+            num_partitions=num_partitions,
+            memory_budget=memory_budget,
+            spill_dir=spill_dir,
             prune=prune,
             stats=stats,
         )
@@ -790,16 +1507,15 @@ def streaming_match_fraction(
     stats = StreamJoinStats(chunks_total=source.num_chunks, rows_total=source.num_rows)
     if not on or source.num_rows == 0:
         return 0.0, stats
-    joiner = StreamingHashJoin(right, on, source.schema())
-    cat_keys = [
-        key for key in joiner.left_keys
-        if source.schema().type_of(key) is CATEGORICAL
-    ]
+    # only key membership matters here: project the build side to its key
+    # columns before hashing, so wide right tables cost keys-only memory
+    right_keys = list(dict.fromkeys(pair[1] for pair in on))
+    right = right.select(right_keys)
+    joiner = StreamingHashJoin(right, on, source.schema(), aggregate_duplicates=False)
+    pruned = _pruned_flags(source, joiner.pruner, prune=True)
     matched = 0
     for index in range(source.num_chunks):
-        zones = source.zones(index)
-        dictionaries = {key: source.dictionary(key) for key in cat_keys}
-        if not joiner.chunk_may_match(zones, dictionaries):
+        if pruned[index]:
             continue
         chunk = source.chunk(index, columns=joiner.left_keys)
         match_index = joiner.probe_chunk(chunk)

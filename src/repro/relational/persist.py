@@ -261,6 +261,17 @@ class TableHeader:
         """Row groups in the file (1 for a monolithic version-1 file)."""
         return len(self.chunks) if self.chunks else 1
 
+    @property
+    def sort_by(self) -> str | None:
+        """Name of the column the file's rows are ordered by, or ``None``.
+
+        Recorded by :func:`write_table_stream` (and ``rechunk(sort_by=...)``)
+        after validating that the chunk zone maps of that column are
+        monotonically non-decreasing, so readers may binary-search pruned
+        chunk ranges instead of scanning every zone entry.
+        """
+        return (self.meta or {}).get("sort_by")
+
     def schema(self) -> Schema:
         """The stored table's schema."""
         return Schema([ColumnSpec(col.name, col.ctype) for col in self.columns])
@@ -892,6 +903,9 @@ class ChunkedTableReader:
         # Dictionaries decode lazily, on the first read that needs one: a scan
         # over numeric columns never pays for (or counts) categorical pages.
         self._dictionaries: dict[str, np.ndarray] = {}
+        # per-column (mins, maxes) zone arrays for sorted binary-search
+        # pruning; False caches a negative answer (absent / non-monotonic)
+        self._zone_bounds: dict[str, tuple[np.ndarray, np.ndarray] | bool] = {}
         if self.header.chunks:
             self._chunks = self.header.chunks
         else:
@@ -959,6 +973,49 @@ class ChunkedTableReader:
             return None
         chunk = self._chunks[index]
         return dict(zip(self.header.column_names, chunk.zones))
+
+    @property
+    def sort_by(self) -> str | None:
+        """The column this file's rows are ordered by, or ``None`` (see
+        :attr:`TableHeader.sort_by`)."""
+        return self.header.sort_by
+
+    def zone_bounds(self, name: str) -> tuple[np.ndarray, np.ndarray] | None:
+        """Per-chunk ``(mins, maxes)`` zone arrays of one numeric column, for
+        binary-search pruning — or ``None`` when the fast path does not apply.
+
+        Both arrays are float64 with all-missing (``None``) zones mapped to
+        ``+inf``; they are validated monotonically non-decreasing once and
+        cached.  ``None`` (fall back to a per-chunk zone scan) when the file
+        has no zone map, the column is absent or categorical, or the zones
+        are not monotonic (a file whose ``sort_by`` claim cannot be trusted).
+        """
+        cached = self._zone_bounds.get(name)
+        if cached is not None:
+            return None if cached is False else cached
+        bounds: tuple[np.ndarray, np.ndarray] | bool = False
+        if self.has_zones:
+            pos = next(
+                (
+                    i
+                    for i, meta in enumerate(self.header.columns)
+                    if meta.name == name and meta.ctype is not CATEGORICAL
+                ),
+                None,
+            )
+            if pos is not None:
+                mins = np.full(len(self._chunks), np.inf)
+                maxes = np.full(len(self._chunks), np.inf)
+                for i, chunk in enumerate(self._chunks):
+                    zone = chunk.zones[pos]
+                    if zone is not None:
+                        mins[i], maxes[i] = zone
+                # element-wise >= (not np.diff): inf - inf would be NaN, but
+                # inf >= inf is True, so trailing all-missing runs pass
+                if np.all(mins[1:] >= mins[:-1]) and np.all(maxes[1:] >= maxes[:-1]):
+                    bounds = (mins, maxes)
+        self._zone_bounds[name] = bounds
+        return None if bounds is False else bounds
 
     def dictionary(self, name: str) -> np.ndarray:
         """The file-level dictionary of one categorical column.
@@ -1148,12 +1205,53 @@ class _StreamColumnState:
     dict_index: dict[str, int] = field(default_factory=dict)
 
 
+def _check_sorted_zones(
+    path: Path, sort_by: str, states, chunks_meta: list[ChunkMeta]
+) -> None:
+    """Validate the sort-order claim of a streamed write.
+
+    The ``sort_by`` column's chunk zones must be monotonically non-decreasing
+    (``prev.max <= next.min``) with all-missing (``None``) zones only in a
+    trailing run — exactly the property the reader's binary-search pruning
+    relies on.  A sorted stream satisfies this by construction for numeric
+    columns (NaNs ordered last) and for categoricals too, because the shared
+    file-level dictionary assigns codes in first-appearance order, which under
+    a sorted stream is ascending value order.
+    """
+    pos = next((i for i, s in enumerate(states) if s.name == sort_by), None)
+    if pos is None:
+        raise ValueError(
+            f"write_table_stream: sort_by column {sort_by!r} not in schema "
+            f"({[s.name for s in states]})"
+        )
+    prev_max: float | None = None
+    seen_none = False
+    for index, chunk in enumerate(chunks_meta):
+        zone = chunk.zones[pos]
+        if zone is None:
+            seen_none = True
+            continue
+        if seen_none:
+            raise ValueError(
+                f"{path}: sort_by={sort_by!r} violated — chunk {index} has "
+                f"values after an all-missing chunk (missing must sort last)"
+            )
+        lo, hi = zone
+        if prev_max is not None and lo < prev_max:
+            raise ValueError(
+                f"{path}: sort_by={sort_by!r} violated — chunk {index} starts "
+                f"at {lo} below previous chunk max {prev_max}"
+            )
+        prev_max = hi
+
+
 def write_table_stream(
     path: str | Path,
     chunks,
     name: str | None = None,
     chunk_rows: int | None = None,
     meta: dict | None = None,
+    sort_by: str | None = None,
 ) -> TableHeader:
     """Write a table from an iterable of same-schema chunk tables, bounded memory.
 
@@ -1169,8 +1267,16 @@ def write_table_stream(
     table carrying the same dictionaries.  If everything fits one chunk the
     write degrades to a plain monolithic :func:`write_table` (bit-compatible
     with the version-1 format).
+
+    ``sort_by`` declares that the incoming chunks are globally ordered by one
+    column (missing values last).  The claim is validated against the written
+    zone maps (:func:`_check_sorted_zones`) and recorded as
+    ``meta["sort_by"]`` so readers can binary-search pruned chunk ranges; a
+    stream that is not actually sorted raises ``ValueError``.
     """
     path = Path(path)
+    if sort_by is not None:
+        meta = {**(meta or {}), "sort_by": sort_by}
     resolved = resolve_chunk_rows(chunk_rows)
     if resolved is None:
         resolved = DEFAULT_STREAM_CHUNK_ROWS
@@ -1235,9 +1341,15 @@ def write_table_stream(
         states = [_StreamColumnState(col.name, col.ctype) for col in first.columns()]
         if table_name is None:
             table_name = first.name
+        if sort_by is not None and sort_by not in first.column_names:
+            raise ValueError(
+                f"write_table_stream: sort_by column {sort_by!r} not in schema "
+                f"({first.column_names})"
+            )
         second = next(batches, None)
         if second is None:
-            # everything fit one chunk: write it monolithically (format v1)
+            # everything fit one chunk: write it monolithically (format v1);
+            # a single chunk is trivially sorted, the marker rides in meta
             if first.name != table_name:
                 first = Table(list(first.columns()), name=table_name)
             return write_table(first, path, meta=meta, chunk_rows=0)
@@ -1245,6 +1357,8 @@ def write_table_stream(
         emit(second)
         for part in batches:
             emit(part)
+        if sort_by is not None:
+            _check_sorted_zones(path, sort_by, states, chunks_meta)
 
         # final dictionaries, in shared-index insertion order
         dict_payloads: list[bytes | None] = []
