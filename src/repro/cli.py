@@ -17,6 +17,10 @@ One entrypoint for everything the repository ships operationally:
   read.
 * ``repo rechunk`` — rewrite one table (or every table) to a new row-group
   layout, atomically, without changing content fingerprints.
+* ``sweep`` — the planted-ground-truth fuzzing sweep: sample seeded
+  scenarios (``repro.datasets.sqlgen``), run discovery + ARDA end to end on
+  each, and score against the plant; failing scenarios serialize JSON repro
+  files that ``sweep --replay FILE`` re-runs standalone.
 
 ``python -m repro.serve`` and ``python -m repro.repo`` remain as thin
 deprecated shims that forward here.
@@ -29,6 +33,8 @@ Examples::
     python -m repro server model.pipeline --repository lake/ --port 8765
     python -m repro repo stat lake/
     python -m repro repo rechunk lake/ orders --chunk-rows 65536
+    python -m repro sweep --n-scenarios 100 --seed 0 --json
+    python -m repro sweep --replay _sweep_failures/sqlgen-quick-s0-i7.json
 """
 
 from __future__ import annotations
@@ -152,7 +158,21 @@ def _cmd_server(args) -> int:
         executor=args.executor,
         n_jobs=args.n_jobs,
     )
+    import signal
+    import threading
+
     server = PredictionServer(args.artifact, repository=args.repository, config=config)
+    # Take over SIGINT before the banner goes out: the banner is the caller's
+    # cue that the server is up, so a SIGINT may arrive while the main thread
+    # is still between start() and the wait below — with the default handler
+    # that KeyboardInterrupt would escape the try block and kill the process
+    # without draining.  An event-setting handler has no such window.
+    stop = threading.Event()
+    previous_handler = None
+    try:
+        previous_handler = signal.signal(signal.SIGINT, lambda signum, frame: stop.set())
+    except ValueError:
+        pass  # not the main thread (embedded use); fall back to KeyboardInterrupt
     server.start()
     host, port = server.address
     print(f"serving {args.artifact} on http://{host}:{port}", flush=True)
@@ -162,14 +182,86 @@ def _cmd_server(args) -> int:
         flush=True,
     )
     try:
-        import threading
-
-        threading.Event().wait()  # serve until interrupted
+        stop.wait()  # serve until interrupted
+        print("draining ...", flush=True)
     except KeyboardInterrupt:
         print("draining ...", flush=True)
     finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGINT, previous_handler)
         server.close()
     return 0
+
+
+# -- sweep command -------------------------------------------------------------
+
+
+def _cmd_sweep(args) -> int:
+    import tempfile
+
+    from repro.core.config import SweepConfig
+    from repro.datasets.sqlgen import ScenarioSweep, replay_repro, run_streaming_scenario
+    from repro.evaluation.reporting import format_sweep
+
+    if args.replay is not None:
+        score = replay_repro(args.replay)
+        if args.json:
+            print(json.dumps(score.to_doc(), indent=2, sort_keys=True))
+        else:
+            print(format_sweep([score]))
+            for failure in score.failures:
+                print(f"  FAIL: {failure}")
+        return 0 if score.passed else 1
+
+    config = SweepConfig(
+        n_scenarios=args.n_scenarios,
+        seed=args.seed,
+        profile=args.profile,
+        layout=args.layout,
+        chunk_rows=args.chunk_rows,
+        executor=args.executor,
+        n_jobs=args.n_jobs,
+        min_discovery_recall=args.min_recall,
+        repro_dir=str(args.repro_dir),
+    )
+    sweep = ScenarioSweep(config)
+    streaming = None
+    if config.layout == "memory" and not args.streaming:
+        result = sweep.run()
+    else:
+        with tempfile.TemporaryDirectory(prefix="arda-sweep-") as tmp:
+            result = sweep.run(work_dir=None if config.layout == "memory" else tmp)
+            if args.streaming:
+                streaming = run_streaming_scenario(Path(tmp) / "streaming", seed=config.seed)
+
+    if args.json:
+        doc = {"summary": result.summary(), "scores": [s.to_doc() for s in result.scores]}
+        if streaming is not None:
+            doc["streaming"] = streaming.to_doc()
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(format_sweep(result.scores))
+        summary = result.summary()
+        print(
+            f"{summary['scenarios']} scenarios ({summary['profile']}, "
+            f"{summary['layout']}): {summary['failed']} failed, "
+            f"mean discovery recall {summary['mean_discovery_recall']:.3f}, "
+            f"mean selection recall {summary['mean_selection_recall']:.3f}, "
+            f"mean uplift {summary['mean_uplift']:+.4f} "
+            f"[{summary['elapsed_s']:.1f}s]"
+        )
+        for path in result.repro_files:
+            print(f"repro file: {path}")
+        if streaming is not None:
+            status = "ok" if streaming.passed else "FAILED"
+            print(
+                f"streaming scenario: {status} ({streaming.n_batches} ingests, "
+                f"generations {streaming.generations[0]}->{streaming.generations[-1]}, "
+                f"{streaming.n_failed_requests}/{streaming.n_requests} failed requests, "
+                f"predictions pinned: {streaming.predictions_pinned})"
+            )
+    failed = not result.passed or (streaming is not None and not streaming.passed)
+    return 1 if failed else 0
 
 
 # -- repository commands -------------------------------------------------------
@@ -364,6 +456,39 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["serial", "thread", "process"])
     server.add_argument("--n-jobs", type=int, default=defaults.n_jobs)
     server.set_defaults(func=_cmd_server)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="planted-ground-truth scenario sweep over the full pipeline",
+    )
+    sweep.add_argument("--n-scenarios", type=int, default=20, help="scenarios to sample")
+    sweep.add_argument("--seed", type=int, default=0, help="root seed of every sampler")
+    sweep.add_argument("--profile", default="quick", choices=["quick", "full"])
+    sweep.add_argument(
+        "--layout", default="monolithic", choices=["monolithic", "chunked", "memory"],
+        help="repository layout scenarios materialise into (scores are identical)",
+    )
+    sweep.add_argument("--chunk-rows", type=int, default=64, help="row-group target for --layout chunked")
+    sweep.add_argument("--executor", default="serial", choices=["serial", "thread", "process"])
+    sweep.add_argument("--n-jobs", type=int, default=None)
+    sweep.add_argument(
+        "--min-recall", type=float, default=0.9,
+        help="per-scenario floor on planted-join discovery recall",
+    )
+    sweep.add_argument(
+        "--repro-dir", type=Path, default=Path("_sweep_failures"),
+        help="failing scenarios serialize JSON repro files here",
+    )
+    sweep.add_argument(
+        "--replay", type=Path, default=None, metavar="FILE",
+        help="re-run one failing scenario from its JSON repro file and exit",
+    )
+    sweep.add_argument(
+        "--streaming", action="store_true",
+        help="also run the append-only micro-batch ingest scenario against a live server",
+    )
+    sweep.add_argument("--json", action="store_true", help="machine-readable output")
+    sweep.set_defaults(func=_cmd_sweep)
 
     repo = sub.add_parser("repo", help="repository maintenance (stat, rechunk)")
     repo_sub = repo.add_subparsers(dest="repo_command", required=True)

@@ -1,6 +1,6 @@
 """ARDA core: the end-to-end automatic relational data augmentation pipeline."""
 
-from repro.core.config import ARDAConfig, ServingConfig
+from repro.core.config import ARDAConfig, ServingConfig, SweepConfig
 from repro.core.executor import (
     JoinExecutor,
     ProcessJoinExecutor,
@@ -17,6 +17,7 @@ __all__ = [
     "ARDA",
     "ARDAConfig",
     "ServingConfig",
+    "SweepConfig",
     "AugmentationReport",
     "BatchReport",
     "JoinBatch",

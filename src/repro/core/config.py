@@ -222,6 +222,75 @@ class ARDAConfig:
 
 
 @dataclass
+class SweepConfig:
+    """Knobs of the planted-ground-truth scenario sweep (``repro sweep``).
+
+    The canonical knob table lives in ``docs/API.md``; this docstring is the
+    source of truth for semantics.
+
+    Attributes
+    ----------
+    n_scenarios:
+        How many scenarios to sample and score; scenario ``i`` is a pure
+        function of ``(seed, i, profile)``.
+    seed:
+        Root seed of every sampler stream (``SeedSequence(seed,
+        spawn_key=(i,))`` per scenario).
+    profile:
+        Size envelope name: ``"quick"`` (CI scale, the default) or
+        ``"full"`` (larger schemas and key domains).
+    layout:
+        Persisted repository layout scenarios are materialised into:
+        ``"monolithic"`` (version-1 files), ``"chunked"`` (row groups of
+        ``chunk_rows``), or ``"memory"`` (no disk; fastest, used by unit
+        tests).  Content fingerprints — and therefore every sweep score —
+        are identical across all three.
+    chunk_rows:
+        Row-group target for the ``chunked`` layout.
+    executor / n_jobs / tree_method:
+        Forwarded into each scenario's :class:`ARDAConfig`; all executor
+        backends produce byte-identical sweep scores.
+    min_discovery_recall:
+        Per-scenario floor on planted-join recall in discovery; a scenario
+        below it fails the sweep.
+    require_ranking:
+        Whether every planted table must outrank every decoy table in the
+        discovery candidate ranking (metamorphic check; on by default).
+    repro_dir:
+        Where failing scenarios serialize their JSON repro files
+        (``repro sweep --replay FILE`` replays one standalone).  ``None``
+        disables repro-file emission.
+    """
+
+    n_scenarios: int = 20
+    seed: int = 0
+    profile: str = "quick"
+    layout: str = "monolithic"
+    chunk_rows: int = 64
+    executor: str = "serial"
+    n_jobs: int | None = None
+    tree_method: str | None = None
+    min_discovery_recall: float = 0.9
+    require_ranking: bool = True
+    repro_dir: str | None = None
+
+    def __post_init__(self):
+        from repro.core.executor import EXECUTOR_NAMES
+
+        if self.n_scenarios < 1:
+            raise ValueError("n_scenarios must be >= 1")
+        valid_layouts = ("monolithic", "chunked", "memory")
+        if self.layout not in valid_layouts:
+            raise ValueError(f"layout must be one of {valid_layouts}")
+        if self.chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        if self.executor not in EXECUTOR_NAMES:
+            raise ValueError(f"executor must be one of {EXECUTOR_NAMES}")
+        if not 0.0 <= self.min_discovery_recall <= 1.0:
+            raise ValueError("min_discovery_recall must be within [0, 1]")
+
+
+@dataclass
 class ServingConfig:
     """Knobs of the resident serving server (:mod:`repro.serving.server`).
 

@@ -9,8 +9,15 @@ hidden in a handful of joinable repository tables, surrounded by many noisy
 tables and columns.  The generators control exactly where the signal lives,
 which also makes the micro-benchmarks' ground truth (which features are real)
 available.
+
+:mod:`repro.datasets.sqlgen` generalises the fixed scenarios into a seeded
+scenario *sampler* with planted ground truth — random schemas, FK graphs
+with decoy tables, and targets that are known functions of planted foreign
+features — plus the :class:`~repro.datasets.sqlgen.ScenarioSweep` harness
+(``repro sweep``) that scores the full ARDA pipeline against each plant.
 """
 
+from repro.datasets import sqlgen
 from repro.datasets.bundle import AugmentationDataset
 from repro.datasets.micro import (
     load_digits,
@@ -39,4 +46,5 @@ __all__ = [
     "load_kraken",
     "load_digits",
     "make_micro_benchmark",
+    "sqlgen",
 ]

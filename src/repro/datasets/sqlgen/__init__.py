@@ -1,0 +1,83 @@
+"""Seeded scenario generator and planted-ground-truth sweep harness.
+
+``sqlgen`` turns the whole ARDA engine into a fuzzable system.  Three seeded
+samplers (modelled on the defio ``JoinSampler``/``AggregateSampler`` idiom)
+compose a random relational workload:
+
+* :class:`~repro.datasets.sqlgen.samplers.SchemaSampler` draws the shape —
+  table count, per-table row counts, column dtypes and cardinalities;
+* :class:`~repro.datasets.sqlgen.samplers.JoinGraphSampler` plants the FK
+  graph — which tables genuinely join the base (known key pairs, tunable
+  fan-out) and which are near-miss *decoys* whose key columns overlap the
+  base domain only fractionally;
+* :class:`~repro.datasets.sqlgen.samplers.TargetSampler` makes the target a
+  known function of the planted foreign features plus noise.
+
+Because the resulting :class:`~repro.datasets.sqlgen.spec.ScenarioSpec`
+records exactly which joins and features were injected, every scenario is a
+*self-checking correctness test*: :class:`~repro.datasets.sqlgen.sweep.ScenarioSweep`
+materialises each spec into a disk repository, runs discovery + ``ARDA``
+end to end, and scores the run against the plant (planted-join recall and
+ranking vs decoys in discovery, planted-feature recall in selection,
+holdout uplift vs the no-augmentation baseline).  Everything is repeatable
+byte-for-byte from ``(seed, config)``; failing scenarios serialize to JSON
+repro files that replay standalone (``python -m repro sweep --replay``).
+"""
+
+from repro.datasets.sqlgen.materialise import (
+    iter_streaming_batches,
+    materialise_scenario,
+    repository_fingerprint,
+    write_scenario_repository,
+)
+from repro.datasets.sqlgen.samplers import (
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    JoinGraphSampler,
+    SamplerProfile,
+    SchemaSampler,
+    TargetSampler,
+    generate_scenario,
+    resolve_profile,
+)
+from repro.datasets.sqlgen.spec import (
+    ColumnSpec,
+    JoinEdge,
+    ScenarioSpec,
+    TableSpec,
+    TargetSpec,
+)
+from repro.datasets.sqlgen.sweep import (
+    ScenarioScore,
+    ScenarioSweep,
+    StreamingScore,
+    SweepResult,
+    replay_repro,
+    run_streaming_scenario,
+)
+
+__all__ = [
+    "ColumnSpec",
+    "TableSpec",
+    "JoinEdge",
+    "TargetSpec",
+    "ScenarioSpec",
+    "SamplerProfile",
+    "QUICK_PROFILE",
+    "FULL_PROFILE",
+    "resolve_profile",
+    "SchemaSampler",
+    "JoinGraphSampler",
+    "TargetSampler",
+    "generate_scenario",
+    "materialise_scenario",
+    "write_scenario_repository",
+    "repository_fingerprint",
+    "iter_streaming_batches",
+    "ScenarioScore",
+    "StreamingScore",
+    "SweepResult",
+    "ScenarioSweep",
+    "replay_repro",
+    "run_streaming_scenario",
+]

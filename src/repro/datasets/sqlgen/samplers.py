@@ -1,0 +1,399 @@
+"""Seeded samplers that compose random relational scenarios.
+
+Three samplers, in the defio ``JoinSampler``/``AggregateSampler`` style,
+each consuming a dedicated ``numpy.random.Generator`` so that every choice
+descends from one :class:`numpy.random.SeedSequence`:
+
+* :class:`SchemaSampler` — shapes: base row count, per-table column counts,
+  dtypes and cardinalities;
+* :class:`JoinGraphSampler` — the FK graph: planted edges with disjoint
+  integer key domains, tunable fan-out, plus decoy tables (same key name,
+  near-miss value overlap) and noise tables (disjoint keys, foreign names);
+* :class:`TargetSampler` — the target as a known weighted function of the
+  planted foreign features and selected base columns, plus gaussian noise.
+
+:func:`generate_scenario` wires them together:
+``SeedSequence(seed, spawn_key=(index,))`` spawns one independent stream
+per sampler and per table body, so scenario ``(seed, index)`` is a pure
+function — byte-identical specs across processes — and different seeds
+diverge immediately.
+
+The key geometry guarantees the discovery ranking the sweep asserts:
+
+* planted tables carry *exactly* the base key's distinct value set, so the
+  MinHash containment estimate is exactly 1.0 (identical signatures) and
+  the candidate scores ``0.6 + 0.2 (same name) + 0.2 / fan_out >= 0.87``;
+* decoys overlap at most ``0.35`` of the base domain, capping their score
+  near ``0.6 * overlap + 0.4 <= 0.7`` even under estimator noise;
+* key values stay below ``10**6`` so the profiler's ``%.6g`` value
+  formatting round-trips every integer exactly, and every domain is sized
+  under the profiler's MinHash value cap so signatures see the full set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.sqlgen.spec import (
+    ColumnSpec,
+    JoinEdge,
+    ScenarioSpec,
+    TableSpec,
+    TargetSpec,
+)
+
+__all__ = [
+    "SamplerProfile",
+    "QUICK_PROFILE",
+    "FULL_PROFILE",
+    "resolve_profile",
+    "SchemaSampler",
+    "JoinGraphSampler",
+    "TargetSampler",
+    "generate_scenario",
+]
+
+# realistic FK column names; tokens are unique across entries so two
+# different keys never look name-similar to discovery
+_KEY_NAMES = (
+    "user_id",
+    "item_id",
+    "store_id",
+    "device_id",
+    "zone_id",
+    "account_id",
+    "vendor_id",
+    "region_id",
+)
+
+# each planted edge j owns the half-open integer domain
+# [_DOMAIN_STRIDE * (j + 1), ...); decoy out-of-domain values live at
+# +_DECOY_OFFSET and noise-table keys at +_NOISE_OFFSET inside the same
+# stride, so no two value pools ever collide and every value stays < 10**6
+# (exact under the profiler's %.6g formatting)
+_DOMAIN_STRIDE = 100_000
+_DECOY_OFFSET = 40_000
+_NOISE_OFFSET = 70_000
+
+
+@dataclass(frozen=True)
+class SamplerProfile:
+    """Size envelope for sampled scenarios (``quick`` for CI, ``full`` bigger)."""
+
+    name: str
+    n_base_rows: tuple[int, int] = (120, 260)
+    n_planted: tuple[int, int] = (1, 3)
+    n_decoys: tuple[int, int] = (1, 3)
+    n_noise_tables: tuple[int, int] = (0, 2)
+    n_keys: tuple[int, int] = (40, 110)
+    fan_out_choices: tuple[int, ...] = (1, 1, 2, 3)
+    n_signal_columns: tuple[int, int] = (1, 2)
+    n_noise_columns: tuple[int, int] = (0, 2)
+    n_base_columns: tuple[int, int] = (2, 4)
+    decoy_overlap: tuple[float, float] = (0.05, 0.35)
+    noise_level: tuple[float, float] = (0.02, 0.15)
+    classification_fraction: float = 0.4
+    n_classes_choices: tuple[int, ...] = (2, 3)
+    categorical_cardinality: tuple[int, int] = (3, 12)
+
+    def __post_init__(self) -> None:
+        if self.n_planted[0] < 1:
+            raise ValueError("every scenario needs at least one planted table")
+        if self.n_keys[1] > self.n_base_rows[0]:
+            raise ValueError(
+                "key domains must fit inside the smallest base table so the "
+                "base column can cover the whole domain (exact containment)"
+            )
+        if self.n_planted[1] > len(_KEY_NAMES):
+            raise ValueError(f"at most {len(_KEY_NAMES)} planted edges supported")
+
+
+QUICK_PROFILE = SamplerProfile(name="quick")
+
+FULL_PROFILE = SamplerProfile(
+    name="full",
+    n_base_rows=(800, 1600),
+    n_planted=(2, 4),
+    n_decoys=(2, 5),
+    n_noise_tables=(1, 3),
+    n_keys=(150, 600),
+    fan_out_choices=(1, 1, 2, 3, 4),
+    n_signal_columns=(1, 3),
+    n_noise_columns=(0, 4),
+    n_base_columns=(3, 6),
+)
+
+_PROFILES = {"quick": QUICK_PROFILE, "full": FULL_PROFILE}
+
+
+def resolve_profile(profile: str | SamplerProfile) -> SamplerProfile:
+    """Look up a named profile, or pass a :class:`SamplerProfile` through."""
+    if isinstance(profile, SamplerProfile):
+        return profile
+    try:
+        return _PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown sampler profile {profile!r}; choose from {sorted(_PROFILES)}"
+        ) from None
+
+
+def _randint(rng: np.random.Generator, bounds: tuple[int, int]) -> int:
+    return int(rng.integers(bounds[0], bounds[1] + 1))
+
+
+def _uniform(rng: np.random.Generator, bounds: tuple[float, float]) -> float:
+    return float(rng.uniform(bounds[0], bounds[1]))
+
+
+class SchemaSampler:
+    """Sample table shapes: row counts, column dtypes and cardinalities."""
+
+    def __init__(self, profile: str | SamplerProfile = QUICK_PROFILE):
+        self.profile = resolve_profile(profile)
+
+    def sample_base(self, rng: np.random.Generator) -> tuple[int, tuple[ColumnSpec, ...]]:
+        """Base row count plus the base table's own (non-key) columns.
+
+        At least one numeric base column is always present so the target can
+        lean on a base feature; the rest mix numeric/integer/categorical.
+        """
+        n_rows = _randint(rng, self.profile.n_base_rows)
+        n_columns = _randint(rng, self.profile.n_base_columns)
+        columns = [ColumnSpec(name="base_attr0", kind="numeric", role="feature")]
+        for i in range(1, n_columns):
+            columns.append(self._sample_column(rng, f"base_attr{i}"))
+        return n_rows, tuple(columns)
+
+    def sample_foreign_columns(
+        self,
+        rng: np.random.Generator,
+        table_index: int,
+        n_signal: int,
+    ) -> tuple[ColumnSpec, ...]:
+        """Columns for one foreign table: ``n_signal`` numeric feature columns
+        (named uniquely across the scenario so planted-feature recall can match
+        kept columns by name) plus a sampled number of noise columns."""
+        columns = [
+            ColumnSpec(name=f"val_{table_index}_{i}", kind="numeric", role="feature")
+            for i in range(n_signal)
+        ]
+        for i in range(_randint(rng, self.profile.n_noise_columns)):
+            columns.append(self._sample_column(rng, f"attr_{table_index}_{i}"))
+        return tuple(columns)
+
+    def _sample_column(self, rng: np.random.Generator, name: str) -> ColumnSpec:
+        kind = ("numeric", "integer", "categorical")[int(rng.integers(0, 3))]
+        cardinality = 0
+        if kind in ("integer", "categorical"):
+            cardinality = _randint(rng, self.profile.categorical_cardinality)
+        return ColumnSpec(name=name, kind=kind, cardinality=cardinality)
+
+
+class JoinGraphSampler:
+    """Sample the FK graph: planted edges, decoys, and noise tables."""
+
+    def __init__(self, profile: str | SamplerProfile = QUICK_PROFILE):
+        self.profile = resolve_profile(profile)
+        self.schema = SchemaSampler(self.profile)
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        n_base_rows: int,
+        data_seeds: "np.ndarray",
+    ) -> tuple[
+        tuple[tuple[str, int, int], ...],
+        tuple[TableSpec, ...],
+        tuple[JoinEdge, ...],
+    ]:
+        """Return ``(key_domains, tables, joins)`` for one scenario.
+
+        ``data_seeds`` supplies one independent body seed per table, drawn
+        from the scenario's SeedSequence by the caller.
+        """
+        profile = self.profile
+        n_planted = _randint(rng, profile.n_planted)
+        n_decoys = _randint(rng, profile.n_decoys)
+        n_noise = _randint(rng, profile.n_noise_tables)
+
+        key_names = list(rng.choice(len(_KEY_NAMES), size=n_planted, replace=False))
+        domains: list[tuple[str, int, int]] = []
+        tables: list[TableSpec] = []
+        joins: list[JoinEdge] = []
+        seed_cursor = 0
+
+        for j in range(n_planted):
+            key = _KEY_NAMES[int(key_names[j])]
+            size = min(_randint(rng, profile.n_keys), n_base_rows)
+            low = _DOMAIN_STRIDE * (j + 1)
+            domains.append((key, low, size))
+            fan_out = int(
+                profile.fan_out_choices[int(rng.integers(0, len(profile.fan_out_choices)))]
+            )
+            n_signal = _randint(rng, profile.n_signal_columns)
+            table_index = len(tables)
+            table = TableSpec(
+                name=f"planted_{j}_{key}",
+                role="planted",
+                key_column=key,
+                n_keys=size,
+                fan_out=fan_out,
+                key_overlap=1.0,
+                key_offset=low,
+                columns=self.schema.sample_foreign_columns(rng, table_index, n_signal),
+                data_seed=int(data_seeds[seed_cursor]),
+            )
+            seed_cursor += 1
+            tables.append(table)
+            joins.append(
+                JoinEdge(base_column=key, foreign_table=table.name, foreign_column=key)
+            )
+
+        for d in range(n_decoys):
+            # each decoy mimics one planted edge: same key column name and
+            # dtype, but only `overlap` of its values land inside the domain
+            j = int(rng.integers(0, n_planted))
+            key, low, size = domains[j]
+            overlap = _uniform(rng, self.profile.decoy_overlap)
+            table_index = len(tables)
+            tables.append(
+                TableSpec(
+                    name=f"decoy_{d}_{key}",
+                    role="decoy",
+                    key_column=key,
+                    n_keys=size,
+                    fan_out=1,
+                    key_overlap=overlap,
+                    key_offset=low + _DECOY_OFFSET + d * (self.profile.n_keys[1] + 1),
+                    columns=self.schema.sample_foreign_columns(rng, table_index, 0),
+                    data_seed=int(data_seeds[seed_cursor]),
+                )
+            )
+            seed_cursor += 1
+
+        for t in range(n_noise):
+            # noise tables join nothing: disjoint key pool, unrelated key name
+            j = int(rng.integers(0, n_planted))
+            _, low, _ = domains[j]
+            size = min(_randint(rng, profile.n_keys), n_base_rows)
+            table_index = len(tables)
+            tables.append(
+                TableSpec(
+                    name=f"noise_{t}",
+                    role="noise",
+                    key_column=f"ref{t}_uid",
+                    n_keys=size,
+                    fan_out=1,
+                    key_overlap=0.0,
+                    key_offset=low + _NOISE_OFFSET + t * (self.profile.n_keys[1] + 1),
+                    columns=self.schema.sample_foreign_columns(rng, table_index, 0),
+                    data_seed=int(data_seeds[seed_cursor]),
+                )
+            )
+            seed_cursor += 1
+
+        return tuple(domains), tuple(tables), tuple(joins)
+
+    @property
+    def max_tables(self) -> int:
+        """Upper bound on foreign tables per scenario (sizes the seed pool)."""
+        return self.profile.n_planted[1] + self.profile.n_decoys[1] + self.profile.n_noise_tables[1]
+
+
+class TargetSampler:
+    """Sample the target as a known function of planted features + noise."""
+
+    def __init__(self, profile: str | SamplerProfile = QUICK_PROFILE):
+        self.profile = resolve_profile(profile)
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        base_columns: tuple[ColumnSpec, ...],
+        tables: tuple[TableSpec, ...],
+    ) -> TargetSpec:
+        profile = self.profile
+        base_weights = tuple(
+            (column.name, self._weight(rng))
+            for column in base_columns
+            if column.role == "feature" and column.kind == "numeric"
+        )
+        signal_weights = []
+        for table in tables:
+            if table.role != "planted":
+                continue
+            for column in table.columns:
+                if column.role == "feature":
+                    signal_weights.append((table.name, column.name, self._weight(rng)))
+        task = (
+            "classification"
+            if rng.random() < profile.classification_fraction
+            else "regression"
+        )
+        n_classes = 0
+        if task == "classification":
+            n_classes = int(
+                profile.n_classes_choices[
+                    int(rng.integers(0, len(profile.n_classes_choices)))
+                ]
+            )
+        return TargetSpec(
+            task=task,
+            noise_level=_uniform(rng, profile.noise_level),
+            n_classes=n_classes,
+            base_weights=base_weights,
+            signal_weights=tuple(signal_weights),
+        )
+
+    @staticmethod
+    def _weight(rng: np.random.Generator) -> float:
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        return float(sign * rng.uniform(0.8, 2.0))
+
+
+def generate_scenario(
+    seed: int,
+    index: int,
+    profile: str | SamplerProfile = QUICK_PROFILE,
+) -> ScenarioSpec:
+    """Sample the complete spec for scenario ``(seed, index)``.
+
+    Deterministic: ``SeedSequence(seed, spawn_key=(index,))`` roots every
+    random draw, so two fresh processes produce byte-identical specs, and
+    the spec embeds per-table ``data_seed`` values so materialisation is
+    deterministic too.
+    """
+    profile = resolve_profile(profile)
+    root = np.random.SeedSequence(seed, spawn_key=(index,))
+    schema_seq, graph_seq, target_seq, data_seq = root.spawn(4)
+    schema_rng = np.random.default_rng(schema_seq)
+    graph_rng = np.random.default_rng(graph_seq)
+    target_rng = np.random.default_rng(target_seq)
+
+    graph_sampler = JoinGraphSampler(profile)
+    # one body seed per potential table, plus base table and target noise
+    n_seeds = graph_sampler.max_tables + 2
+    data_seeds = data_seq.generate_state(n_seeds, dtype=np.uint32)
+
+    n_base_rows, base_columns = SchemaSampler(profile).sample_base(schema_rng)
+    key_domains, tables, joins = graph_sampler.sample(
+        graph_rng, n_base_rows, data_seeds[2:]
+    )
+    target = TargetSampler(profile).sample(target_rng, base_columns, tables)
+
+    return ScenarioSpec(
+        scenario_id=f"sqlgen-{profile.name}-s{seed}-i{index}",
+        seed=seed,
+        index=index,
+        n_base_rows=n_base_rows,
+        key_domains=key_domains,
+        base_columns=base_columns,
+        tables=tables,
+        joins=joins,
+        target=target,
+        base_seed=int(data_seeds[0]),
+        target_seed=int(data_seeds[1]),
+    )

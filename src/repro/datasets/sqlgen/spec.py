@@ -1,0 +1,301 @@
+"""Declarative scenario specifications with JSON round-trip and fingerprints.
+
+A :class:`ScenarioSpec` is the *plan* for one synthetic workload: the base
+table shape, every foreign table (planted / decoy / noise) with its key
+geometry, the FK join graph, and the target function.  The spec is pure
+data — materialisation (`materialise.py`) is a deterministic function of it,
+so a spec document embedded in a repro file is enough to rebuild the exact
+repository and replay a failing scenario standalone.
+
+Specs round-trip losslessly through ``to_doc``/``from_doc`` and hash to a
+stable fingerprint (blake2b over canonical sorted-keys JSON), which the
+seeded-repeatability tests compare across fresh processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ColumnSpec",
+    "TableSpec",
+    "JoinEdge",
+    "TargetSpec",
+    "ScenarioSpec",
+    "SPEC_FORMAT",
+]
+
+SPEC_FORMAT = "arda-sqlgen-spec-v1"
+
+_COLUMN_KINDS = ("numeric", "integer", "categorical")
+_TABLE_ROLES = ("planted", "decoy", "noise")
+_COLUMN_ROLES = ("feature", "noise")
+_TASKS = ("regression", "classification")
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One non-key column of a generated table.
+
+    ``kind`` picks the dtype family; ``cardinality`` bounds the distinct
+    values for categorical/integer columns; ``role`` is ``"feature"`` when
+    the column feeds the target function (only meaningful on planted
+    tables) and ``"noise"`` otherwise; ``weight`` is the column's
+    coefficient in the target function (0.0 for noise columns).
+    """
+
+    name: str
+    kind: str
+    cardinality: int = 0
+    role: str = "noise"
+    weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _COLUMN_KINDS:
+            raise ValueError(f"unknown column kind {self.kind!r}")
+        if self.role not in _COLUMN_ROLES:
+            raise ValueError(f"unknown column role {self.role!r}")
+
+    def to_doc(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "cardinality": self.cardinality,
+            "role": self.role,
+            "weight": self.weight,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "ColumnSpec":
+        return cls(
+            name=doc["name"],
+            kind=doc["kind"],
+            cardinality=int(doc["cardinality"]),
+            role=doc["role"],
+            weight=float(doc["weight"]),
+        )
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One foreign table in a scenario.
+
+    Key geometry drives what discovery *should* do with the table:
+
+    * ``planted`` — ``key_column`` covers the referenced base key domain
+      completely (containment ~1.0, unique keys, same column name), so the
+      scorer must rank it at the top.  ``fan_out`` > 1 plants duplicate
+      key rows whose per-key mean equals the planted value, exercising the
+      join's duplicate pre-aggregation.
+    * ``decoy`` — the key column reuses the base key's *name* and dtype but
+      only ``key_overlap`` (0.05–0.35) of its values land in the base
+      domain; the rest live at ``key_offset``.  A correct scorer keeps all
+      decoys strictly below every planted table.
+    * ``noise`` — keys drawn from a disjoint domain; never a sound join.
+    """
+
+    name: str
+    role: str
+    key_column: str
+    n_keys: int
+    fan_out: int = 1
+    key_overlap: float = 1.0
+    key_offset: int = 0
+    columns: tuple[ColumnSpec, ...] = ()
+    data_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.role not in _TABLE_ROLES:
+            raise ValueError(f"unknown table role {self.role!r}")
+        if not 0.0 <= self.key_overlap <= 1.0:
+            raise ValueError("key_overlap must be within [0, 1]")
+        if self.fan_out < 1:
+            raise ValueError("fan_out must be >= 1")
+
+    @property
+    def n_rows(self) -> int:
+        return self.n_keys * self.fan_out
+
+    def to_doc(self) -> dict:
+        return {
+            "name": self.name,
+            "role": self.role,
+            "key_column": self.key_column,
+            "n_keys": self.n_keys,
+            "fan_out": self.fan_out,
+            "key_overlap": self.key_overlap,
+            "key_offset": self.key_offset,
+            "columns": [c.to_doc() for c in self.columns],
+            "data_seed": self.data_seed,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "TableSpec":
+        return cls(
+            name=doc["name"],
+            role=doc["role"],
+            key_column=doc["key_column"],
+            n_keys=int(doc["n_keys"]),
+            fan_out=int(doc["fan_out"]),
+            key_overlap=float(doc["key_overlap"]),
+            key_offset=int(doc["key_offset"]),
+            columns=tuple(ColumnSpec.from_doc(c) for c in doc["columns"]),
+            data_seed=int(doc["data_seed"]),
+        )
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """One planted FK edge: ``base.base_column == foreign_table.foreign_column``."""
+
+    base_column: str
+    foreign_table: str
+    foreign_column: str
+
+    def to_doc(self) -> dict:
+        return {
+            "base_column": self.base_column,
+            "foreign_table": self.foreign_table,
+            "foreign_column": self.foreign_column,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "JoinEdge":
+        return cls(
+            base_column=doc["base_column"],
+            foreign_table=doc["foreign_table"],
+            foreign_column=doc["foreign_column"],
+        )
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """The target as a known function of base + planted foreign features.
+
+    ``signal_weights`` maps prefixed foreign feature names (the
+    ``{table}.{column}`` names the pipeline materialises) to coefficients;
+    ``base_weights`` does the same for base columns.  Regression targets are
+    the weighted sum plus ``noise_level``-scaled gaussian noise;
+    classification thresholds that sum into ``n_classes`` quantile bins.
+    """
+
+    task: str
+    noise_level: float
+    n_classes: int = 0
+    base_weights: tuple[tuple[str, float], ...] = ()
+    signal_weights: tuple[tuple[str, str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.task not in _TASKS:
+            raise ValueError(f"unknown task {self.task!r}")
+        if self.task == "classification" and self.n_classes < 2:
+            raise ValueError("classification targets need n_classes >= 2")
+
+    def planted_feature_names(self) -> tuple[str, ...]:
+        """Prefixed column names the selector is expected to keep."""
+        return tuple(f"{table}.{column}" for table, column, _ in self.signal_weights)
+
+    def to_doc(self) -> dict:
+        return {
+            "task": self.task,
+            "noise_level": self.noise_level,
+            "n_classes": self.n_classes,
+            "base_weights": [[n, w] for n, w in self.base_weights],
+            "signal_weights": [[t, c, w] for t, c, w in self.signal_weights],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "TargetSpec":
+        return cls(
+            task=doc["task"],
+            noise_level=float(doc["noise_level"]),
+            n_classes=int(doc["n_classes"]),
+            base_weights=tuple((n, float(w)) for n, w in doc["base_weights"]),
+            signal_weights=tuple(
+                (t, c, float(w)) for t, c, w in doc["signal_weights"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Complete plan for one scenario; materialisation is a pure function of it.
+
+    ``key_domains`` maps each base key column to its disjoint integer value
+    range ``(low, size)`` — per-key offsets keep the domains disjoint so a
+    decoy on one key can never accidentally overlap another key's domain.
+    """
+
+    scenario_id: str
+    seed: int
+    index: int
+    n_base_rows: int
+    key_domains: tuple[tuple[str, int, int], ...]
+    base_columns: tuple[ColumnSpec, ...]
+    tables: tuple[TableSpec, ...]
+    joins: tuple[JoinEdge, ...]
+    target: TargetSpec
+    base_seed: int = 0
+    target_seed: int = 0
+    format: str = field(default=SPEC_FORMAT)
+
+    def planted_tables(self) -> tuple[TableSpec, ...]:
+        return tuple(t for t in self.tables if t.role == "planted")
+
+    def decoy_tables(self) -> tuple[TableSpec, ...]:
+        return tuple(t for t in self.tables if t.role == "decoy")
+
+    def noise_tables(self) -> tuple[TableSpec, ...]:
+        return tuple(t for t in self.tables if t.role == "noise")
+
+    def to_doc(self) -> dict:
+        return {
+            "format": self.format,
+            "scenario_id": self.scenario_id,
+            "seed": self.seed,
+            "index": self.index,
+            "n_base_rows": self.n_base_rows,
+            "key_domains": [[k, lo, size] for k, lo, size in self.key_domains],
+            "base_columns": [c.to_doc() for c in self.base_columns],
+            "tables": [t.to_doc() for t in self.tables],
+            "joins": [j.to_doc() for j in self.joins],
+            "target": self.target.to_doc(),
+            "base_seed": self.base_seed,
+            "target_seed": self.target_seed,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "ScenarioSpec":
+        if doc.get("format") != SPEC_FORMAT:
+            raise ValueError(
+                f"unsupported scenario spec format {doc.get('format')!r}"
+            )
+        return cls(
+            scenario_id=doc["scenario_id"],
+            seed=int(doc["seed"]),
+            index=int(doc["index"]),
+            n_base_rows=int(doc["n_base_rows"]),
+            key_domains=tuple(
+                (k, int(lo), int(size)) for k, lo, size in doc["key_domains"]
+            ),
+            base_columns=tuple(ColumnSpec.from_doc(c) for c in doc["base_columns"]),
+            tables=tuple(TableSpec.from_doc(t) for t in doc["tables"]),
+            joins=tuple(JoinEdge.from_doc(j) for j in doc["joins"]),
+            target=TargetSpec.from_doc(doc["target"]),
+            base_seed=int(doc["base_seed"]),
+            target_seed=int(doc["target_seed"]),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_doc(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ScenarioSpec":
+        return cls.from_doc(json.loads(payload))
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the spec (canonical JSON, blake2b-128)."""
+        digest = hashlib.blake2b(self.to_json().encode("utf-8"), digest_size=16)
+        return digest.hexdigest()

@@ -1,0 +1,531 @@
+"""The scenario sweep driver: materialise, run ARDA, score against the plant.
+
+:class:`ScenarioSweep` is the fuzzing harness the ``repro sweep`` CLI and CI
+run: it samples ``n_scenarios`` specs from ``(seed, profile)``, materialises
+each into a repository (monolithic, chunked, or in-memory layout), runs join
+discovery plus the full ``ARDA`` pipeline end to end, and scores the run
+against the planted ground truth:
+
+* **discovery recall** — fraction of planted FK edges discovery emitted
+  (exact key pair, hard join);
+* **discovery precision** — planted tables among the top ``n_planted``
+  ranked tables;
+* **ranking** — every planted table strictly outranks every decoy table;
+* **selection recall** — fraction of planted foreign feature columns the
+  selector kept (reported, never failed on: selection is statistical);
+* **uplift** — holdout score of the augmented model minus the
+  no-augmentation baseline ARDA itself measures.
+
+Scores are deterministic: the byte content of
+:meth:`SweepResult.deterministic_doc` (wall-times excluded) is a pure
+function of ``(seed, config)``, compared across fresh processes by the
+repeatability tests.  A failing scenario serializes to a JSON repro file —
+the spec document embedded, à la the snapshot-isolation checker's failing
+histories — that :func:`replay_repro` re-runs standalone.
+
+:func:`run_streaming_scenario` closes the serving loop: an append-only
+sensor table ingested in micro-batches through the snapshot-isolated
+repository while a live :class:`~repro.serving.server.PredictionServer`
+scores between ingests; served predictions must stay byte-identical to
+offline ``FittedPipeline.predict`` across every ingest generation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import ARDAConfig, ServingConfig, SweepConfig
+from repro.datasets.sqlgen.materialise import (
+    STREAM_TABLE,
+    iter_streaming_batches,
+    materialise_scenario,
+    planted_candidates,
+    repository_fingerprint,
+    write_scenario_repository,
+)
+from repro.datasets.sqlgen.samplers import generate_scenario, resolve_profile
+from repro.datasets.sqlgen.spec import ScenarioSpec
+from repro.discovery.discovery import JoinDiscovery
+from repro.observability import DEFAULT_RATIO_BUCKETS, get_registry
+
+__all__ = [
+    "REPRO_FORMAT",
+    "ScenarioScore",
+    "SweepResult",
+    "ScenarioSweep",
+    "replay_repro",
+    "StreamingScore",
+    "run_streaming_scenario",
+]
+
+REPRO_FORMAT = "arda-sweep-repro-v1"
+
+
+@dataclass
+class ScenarioScore:
+    """How one scenario's pipeline run measured up against its plant."""
+
+    scenario_id: str
+    index: int
+    spec_fingerprint: str
+    repository_fingerprint: str
+    n_tables: int
+    n_planted: int
+    n_decoys: int
+    task: str
+    discovery_recall: float
+    discovery_precision: float
+    ranking_ok: bool
+    selection_recall: float
+    base_score: float
+    augmented_score: float
+    uplift: float
+    failures: list[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def to_doc(self) -> dict:
+        """Deterministic document: everything except wall-clock time."""
+        return {
+            "scenario_id": self.scenario_id,
+            "index": self.index,
+            "spec_fingerprint": self.spec_fingerprint,
+            "repository_fingerprint": self.repository_fingerprint,
+            "n_tables": self.n_tables,
+            "n_planted": self.n_planted,
+            "n_decoys": self.n_decoys,
+            "task": self.task,
+            "discovery_recall": round(self.discovery_recall, 12),
+            "discovery_precision": round(self.discovery_precision, 12),
+            "ranking_ok": self.ranking_ok,
+            "selection_recall": round(self.selection_recall, 12),
+            "base_score": round(self.base_score, 12),
+            "augmented_score": round(self.augmented_score, 12),
+            "uplift": round(self.uplift, 12),
+            "failures": list(self.failures),
+        }
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced, plus the deterministic comparison doc."""
+
+    seed: int
+    profile: str
+    layout: str
+    scores: list[ScenarioScore]
+    repro_files: list[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for s in self.scores if not s.passed)
+
+    @property
+    def passed(self) -> bool:
+        return self.n_failed == 0
+
+    @property
+    def mean_discovery_recall(self) -> float:
+        if not self.scores:
+            return 0.0
+        return float(np.mean([s.discovery_recall for s in self.scores]))
+
+    @property
+    def mean_selection_recall(self) -> float:
+        if not self.scores:
+            return 0.0
+        return float(np.mean([s.selection_recall for s in self.scores]))
+
+    @property
+    def mean_uplift(self) -> float:
+        if not self.scores:
+            return 0.0
+        return float(np.mean([s.uplift for s in self.scores]))
+
+    def deterministic_doc(self) -> dict:
+        """The byte-comparable view: pure function of ``(seed, config)``."""
+        return {
+            "seed": self.seed,
+            "profile": self.profile,
+            "layout": self.layout,
+            "scores": [s.to_doc() for s in self.scores],
+        }
+
+    def deterministic_json(self) -> str:
+        return json.dumps(self.deterministic_doc(), sort_keys=True, separators=(",", ":"))
+
+    def summary(self) -> dict:
+        return {
+            "seed": self.seed,
+            "profile": self.profile,
+            "layout": self.layout,
+            "scenarios": len(self.scores),
+            "failed": self.n_failed,
+            "mean_discovery_recall": round(self.mean_discovery_recall, 4),
+            "mean_selection_recall": round(self.mean_selection_recall, 4),
+            "mean_uplift": round(self.mean_uplift, 4),
+            "elapsed_s": round(self.elapsed_s, 2),
+            "repro_files": list(self.repro_files),
+        }
+
+
+class ScenarioSweep:
+    """Run and score sampled scenarios against their planted ground truth."""
+
+    def __init__(self, config: SweepConfig | None = None, registry=None):
+        self.config = config or SweepConfig()
+        self.registry = registry if registry is not None else get_registry()
+
+    # -- scoring -------------------------------------------------------------
+
+    def _arda_config(self) -> ARDAConfig:
+        return ARDAConfig(
+            executor=self.config.executor,
+            n_jobs=self.config.n_jobs,
+            tree_method=self.config.tree_method,
+            capture_pipeline=False,
+            persist_profiles=False,
+        )
+
+    def run_scenario(self, spec: ScenarioSpec, work_dir: str | Path | None = None) -> ScenarioScore:
+        """Materialise one spec, run discovery + ARDA, score against the plant."""
+        # imported here, not at module top: core.arda itself imports
+        # repro.datasets (the bundle), so a top-level import would be circular
+        from repro.core.arda import ARDA
+
+        config = self.config
+        started = time.perf_counter()
+        if config.layout == "memory":
+            dataset = materialise_scenario(spec)
+            base, repository = dataset.base_table, dataset.repository
+        else:
+            if work_dir is None:
+                raise ValueError(f"layout {config.layout!r} needs a work_dir")
+            chunk_rows = 0 if config.layout == "monolithic" else config.chunk_rows
+            scenario_dir = Path(work_dir) / spec.scenario_id
+            base, repository = write_scenario_repository(
+                spec, scenario_dir, chunk_rows=chunk_rows
+            )
+
+        candidates = JoinDiscovery().discover(base, repository, target="target")
+
+        planted_edges = {
+            (e.foreign_table, e.base_column, e.foreign_column) for e in spec.joins
+        }
+        found_edges = {
+            (c.foreign_table, key.base_column, key.foreign_column)
+            for c in candidates
+            for key in c.keys
+            if not key.soft
+        }
+        recall = len(planted_edges & found_edges) / len(planted_edges)
+
+        planted_names = {t.name for t in spec.planted_tables()}
+        decoy_names = {t.name for t in spec.decoy_tables()}
+        ranked_tables: list[str] = []
+        best: dict[str, float] = {}
+        for candidate in candidates:  # already sorted by descending score
+            if candidate.foreign_table not in best:
+                best[candidate.foreign_table] = candidate.score
+                ranked_tables.append(candidate.foreign_table)
+        top = ranked_tables[: len(planted_names)]
+        precision = (
+            sum(1 for name in top if name in planted_names) / len(planted_names)
+            if planted_names
+            else 1.0
+        )
+        worst_planted = min((best.get(n, 0.0) for n in planted_names), default=0.0)
+        best_decoy = max((best.get(n, 0.0) for n in decoy_names), default=0.0)
+        ranking_ok = worst_planted > best_decoy
+
+        report = ARDA(self._arda_config()).augment_tables(
+            base_table=base,
+            repository=repository,
+            target="target",
+            candidates=candidates,
+            task=spec.target.task,
+            dataset_name=spec.scenario_id,
+        )
+
+        planted_features = set(spec.target.planted_feature_names())
+        kept = set(report.kept_columns)
+        selection_recall = (
+            len(planted_features & kept) / len(planted_features)
+            if planted_features
+            else 1.0
+        )
+
+        failures: list[str] = []
+        if recall < config.min_discovery_recall:
+            missing = sorted(planted_edges - found_edges)
+            failures.append(
+                f"discovery recall {recall:.3f} below floor "
+                f"{config.min_discovery_recall:.3f}; missing edges: {missing}"
+            )
+        if config.require_ranking and not ranking_ok:
+            failures.append(
+                f"planted tables do not outrank decoys: worst planted score "
+                f"{worst_planted:.4f} <= best decoy score {best_decoy:.4f}"
+            )
+
+        return ScenarioScore(
+            scenario_id=spec.scenario_id,
+            index=spec.index,
+            spec_fingerprint=spec.fingerprint(),
+            repository_fingerprint=repository_fingerprint(repository),
+            n_tables=len(spec.tables),
+            n_planted=len(planted_names),
+            n_decoys=len(decoy_names),
+            task=spec.target.task,
+            discovery_recall=recall,
+            discovery_precision=precision,
+            ranking_ok=ranking_ok,
+            selection_recall=selection_recall,
+            base_score=report.base_score,
+            augmented_score=report.augmented_score,
+            uplift=report.improvement,
+            failures=failures,
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    # -- the sweep -----------------------------------------------------------
+
+    def run(self, work_dir: str | Path | None = None) -> SweepResult:
+        """Sample and score ``config.n_scenarios`` scenarios.
+
+        ``work_dir`` receives one repository directory per scenario for the
+        disk layouts (required unless ``layout="memory"``); failing scenarios
+        additionally serialize JSON repro files into ``config.repro_dir``.
+        """
+        config = self.config
+        profile = resolve_profile(config.profile)
+        scenarios = self.registry.counter("sweep.scenarios")
+        failures_counter = self.registry.counter("sweep.failures")
+        scenario_timer = self.registry.histogram("sweep.scenario_s")
+        recall_histogram = self.registry.histogram(
+            "sweep.discovery_recall", buckets=DEFAULT_RATIO_BUCKETS
+        )
+        started = time.perf_counter()
+        scores: list[ScenarioScore] = []
+        repro_files: list[str] = []
+        for index in range(config.n_scenarios):
+            spec = generate_scenario(config.seed, index, profile)
+            score = self.run_scenario(spec, work_dir=work_dir)
+            scores.append(score)
+            scenarios.inc()
+            scenario_timer.observe(score.elapsed_s)
+            recall_histogram.observe(score.discovery_recall)
+            if not score.passed:
+                failures_counter.inc()
+                if config.repro_dir is not None:
+                    repro_files.append(str(self._write_repro(spec, score)))
+        return SweepResult(
+            seed=config.seed,
+            profile=profile.name,
+            layout=config.layout,
+            scores=scores,
+            repro_files=repro_files,
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    # -- repro files ---------------------------------------------------------
+
+    def repro_doc(self, spec: ScenarioSpec, score: ScenarioScore) -> dict:
+        """Self-contained failure record: config + spec + observed score."""
+        config = self.config
+        return {
+            "format": REPRO_FORMAT,
+            "seed": config.seed,
+            "index": spec.index,
+            "profile": resolve_profile(config.profile).name,
+            "layout": config.layout,
+            "chunk_rows": config.chunk_rows,
+            "min_discovery_recall": config.min_discovery_recall,
+            "require_ranking": config.require_ranking,
+            "spec": spec.to_doc(),
+            "score": score.to_doc(),
+            "failures": list(score.failures),
+        }
+
+    def _write_repro(self, spec: ScenarioSpec, score: ScenarioScore) -> Path:
+        directory = Path(self.config.repro_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{spec.scenario_id}.json"
+        path.write_text(json.dumps(self.repro_doc(spec, score), indent=2, sort_keys=True))
+        return path
+
+
+def replay_repro(path: str | Path, work_dir: str | Path | None = None) -> ScenarioScore:
+    """Re-run one failing scenario from its JSON repro file, standalone.
+
+    The embedded spec document — not the sampler — drives materialisation,
+    so the replay reproduces the exact repository bytes and scores of the
+    original run even if sampler defaults have since changed.  Uses an
+    in-memory repository when ``work_dir`` is omitted (layout never affects
+    scores; fingerprints are layout-invariant).
+    """
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format") != REPRO_FORMAT:
+        raise ValueError(f"{path}: not an {REPRO_FORMAT} repro file")
+    spec = ScenarioSpec.from_doc(doc["spec"])
+    config = SweepConfig(
+        seed=doc["seed"],
+        profile=doc["profile"],
+        layout=doc["layout"] if work_dir is not None else "memory",
+        chunk_rows=doc["chunk_rows"],
+        min_discovery_recall=doc["min_discovery_recall"],
+        require_ranking=doc["require_ranking"],
+    )
+    return ScenarioSweep(config).run_scenario(spec, work_dir=work_dir)
+
+
+# -- the streaming scenario ---------------------------------------------------
+
+
+@dataclass
+class StreamingScore:
+    """Result of the append-only micro-batch ingest scenario."""
+
+    n_batches: int
+    generations: list[int]
+    reloads: int
+    n_requests: int
+    n_failed_requests: int
+    predictions_pinned: bool
+    stream_rows: int
+    predictions: list[float]
+
+    @property
+    def passed(self) -> bool:
+        return self.predictions_pinned and self.n_failed_requests == 0
+
+    def to_doc(self) -> dict:
+        return {
+            "n_batches": self.n_batches,
+            "generations": list(self.generations),
+            "reloads": self.reloads,
+            "n_requests": self.n_requests,
+            "n_failed_requests": self.n_failed_requests,
+            "predictions_pinned": self.predictions_pinned,
+            "stream_rows": self.stream_rows,
+        }
+
+
+def run_streaming_scenario(
+    work_dir: str | Path,
+    seed: int = 0,
+    n_batches: int = 3,
+    batch_rows: int = 32,
+    probe_rows: int = 8,
+    registry=None,
+) -> StreamingScore:
+    """Ingest an append-only sensor table under a live prediction server.
+
+    Flow: scenario ``(seed, 0, quick)`` is materialised to disk and a
+    pipeline trained on its *planted* joins is saved as an artifact; a
+    :class:`~repro.serving.server.PredictionServer` binds to the repository
+    directory; then each micro-batch publishes a grown ``sensor_log`` as a
+    new snapshot-isolated manifest generation, the server hot-reloads it,
+    and a probe batch is scored over HTTP after every ingest.  The sensor
+    table is never part of the join plan, so every serving generation must
+    produce byte-identical predictions — ingest may only ever change *what
+    is stored*, not *what is served*.
+    """
+    import urllib.request
+
+    from repro.core.arda import ARDA
+    from repro.observability import MetricsRegistry
+    from repro.serving.pipeline import FittedPipeline
+    from repro.serving.server import PredictionServer
+
+    work_dir = Path(work_dir)
+    spec = generate_scenario(seed, 0, "quick")
+    lake = work_dir / "lake"
+    base, repository = write_scenario_repository(spec, lake, chunk_rows=0)
+
+    report = ARDA(ARDAConfig(capture_pipeline=True, persist_profiles=False)).augment_tables(
+        base_table=base,
+        repository=repository,
+        target="target",
+        candidates=planted_candidates(spec),
+        task=spec.target.task,
+        dataset_name=spec.scenario_id,
+    )
+    if report.pipeline is None:
+        raise RuntimeError("streaming scenario needs a captured pipeline")
+    artifact = work_dir / "stream.pipeline"
+    report.pipeline.save(artifact)
+
+    probe = base.head(probe_rows)
+    offline = FittedPipeline.load(artifact, repository=repository)
+    expected = np.asarray(offline.predict(probe), dtype=np.float64)
+    offline.release()
+
+    payload = json.dumps([base.row(i) for i in range(probe_rows)]).encode()
+    server_registry = registry if registry is not None else MetricsRegistry()
+    config = ServingConfig(port=0, workers=2, reload_interval_s=0.0)
+    server = PredictionServer(
+        artifact, repository=str(lake), config=config, registry=server_registry
+    ).start()
+    generations: list[int] = []
+    predictions: list[float] = []
+    n_requests = n_failed = reloads = 0
+    pinned = True
+    stream_rows = 0
+    try:
+        host, port = server.address
+
+        def probe_once() -> None:
+            nonlocal n_requests, n_failed, pinned
+            request = urllib.request.Request(
+                f"http://{host}:{port}/predict",
+                data=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            n_requests += 1
+            try:
+                with urllib.request.urlopen(request, timeout=30) as response:
+                    served = np.asarray(
+                        json.loads(response.read())["predictions"], dtype=np.float64
+                    )
+            except Exception:
+                n_failed += 1
+                return
+            if not np.array_equal(served, expected):
+                pinned = False
+
+        probe_once()
+        generations.append(server.generation)
+        for batch in iter_streaming_batches(spec, n_batches, batch_rows):
+            stream_rows = batch.num_rows
+            if STREAM_TABLE in repository.table_names:
+                repository.replace(batch)
+            else:
+                repository.add(batch)
+            if server.check_reload():
+                reloads += 1
+            generations.append(server.generation)
+            probe_once()
+        predictions = [float(v) for v in expected]
+    finally:
+        server.close()
+
+    return StreamingScore(
+        n_batches=n_batches,
+        generations=generations,
+        reloads=reloads,
+        n_requests=n_requests,
+        n_failed_requests=n_failed,
+        predictions_pinned=pinned,
+        stream_rows=stream_rows,
+        predictions=predictions,
+    )

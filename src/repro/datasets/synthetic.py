@@ -70,7 +70,7 @@ class RelationalDatasetBuilder:
         noise_level: float = 0.3,
         base_signal_weight: float = 1.0,
         n_categorical_base: int = 1,
-        seed: int = 0,
+        seed: int | np.random.Generator = 0,
     ):
         self.name = name
         self.task = task
@@ -83,6 +83,8 @@ class RelationalDatasetBuilder:
         self.noise_level = noise_level
         self.base_signal_weight = base_signal_weight
         self.n_categorical_base = n_categorical_base
+        # an explicit Generator lets a caller thread one RNG stream through
+        # several builders; an int seeds a private stream per build() call
         self.seed = seed
         self.signal_specs: list[SignalTableSpec] = []
         self.noise_specs: list[NoiseTableSpec] = []
@@ -111,7 +113,11 @@ class RelationalDatasetBuilder:
 
     def build(self) -> AugmentationDataset:
         """Generate the base table, all foreign tables and the candidate list."""
-        rng = np.random.default_rng(self.seed)
+        rng = (
+            self.seed
+            if isinstance(self.seed, np.random.Generator)
+            else np.random.default_rng(self.seed)
+        )
         entity_ids = rng.integers(0, self.n_entities, size=self.n_rows).astype(np.float64)
         day_index = rng.integers(0, self.n_days, size=self.n_rows)
         timestamps = day_index * DAY_SECONDS

@@ -9,9 +9,11 @@ from repro.evaluation.evaluator import (
 )
 from repro.evaluation.reporting import (
     format_stage_breakdown,
+    format_sweep,
     format_table,
     records_to_rows,
     stage_breakdown_rows,
+    sweep_rows,
 )
 from repro.evaluation import experiments
 
@@ -22,8 +24,10 @@ __all__ = [
     "materialize_full_join",
     "regression_error",
     "format_stage_breakdown",
+    "format_sweep",
     "format_table",
     "records_to_rows",
     "stage_breakdown_rows",
+    "sweep_rows",
     "experiments",
 ]

@@ -47,6 +47,39 @@ def format_stage_breakdown(reports: Sequence[AugmentationReport]) -> str:
     return format_table(stage_breakdown_rows(reports))
 
 
+def sweep_rows(scores: Sequence) -> list[dict]:
+    """Per-scenario report rows for a planted-ground-truth sweep.
+
+    One row per :class:`~repro.datasets.sqlgen.sweep.ScenarioScore`: the
+    plant-relative metrics (discovery recall/precision, ranking check,
+    selection recall, uplift) plus pass/fail, so ``repro sweep`` and the
+    experiment notebooks render sweeps through the same table machinery as
+    the paper reproductions.
+    """
+    rows = []
+    for score in scores:
+        rows.append(
+            {
+                "scenario": score.scenario_id,
+                "tables": score.n_tables,
+                "task": score.task,
+                "disc_recall": round(score.discovery_recall, 3),
+                "disc_prec": round(score.discovery_precision, 3),
+                "ranking": "ok" if score.ranking_ok else "VIOLATED",
+                "sel_recall": round(score.selection_recall, 3),
+                "uplift": round(score.uplift, 4),
+                "time_s": round(score.elapsed_s, 2),
+                "status": "pass" if score.passed else "FAIL",
+            }
+        )
+    return rows
+
+
+def format_sweep(scores: Sequence) -> str:
+    """Render per-scenario sweep scores as an aligned plain-text table."""
+    return format_table(sweep_rows(scores))
+
+
 def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
     """Render a list of dictionaries as an aligned plain-text table."""
     if not rows:

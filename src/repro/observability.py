@@ -54,6 +54,7 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_RATIO_BUCKETS",
 ]
 
 # upper bounds (seconds) chosen for request latencies: sub-millisecond to
@@ -74,6 +75,23 @@ DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
     5.0,
     10.0,
     30.0,
+)
+
+# upper bounds for [0, 1] ratio metrics (recall, precision, uplift fractions):
+# a fine-grained top end distinguishes "nearly perfect" from "perfect"
+DEFAULT_RATIO_BUCKETS: tuple[float, ...] = (
+    0.1,
+    0.2,
+    0.3,
+    0.4,
+    0.5,
+    0.6,
+    0.7,
+    0.8,
+    0.9,
+    0.95,
+    0.99,
+    1.0,
 )
 
 

@@ -1,0 +1,504 @@
+"""Tests for the sqlgen scenario sampler and the planted-ground-truth sweep.
+
+Covers the seeded-repeatability contract (same seed => byte-identical specs,
+repository fingerprints, and sweep scores across fresh processes; different
+seeds => distinct schemas), the metamorphic sweep properties (planted joins
+outrank decoys, layout and executor invariance), failing-scenario repro files
+and their standalone replay, the explicit-seed RNG audit of the dataset
+builders, and the streaming micro-batch ingest scenario.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.config import ARDAConfig, ServingConfig, SweepConfig
+from repro.datasets.sqlgen import (
+    ColumnSpec,
+    QUICK_PROFILE,
+    SamplerProfile,
+    ScenarioSpec,
+    ScenarioSweep,
+    TableSpec,
+    TargetSpec,
+    generate_scenario,
+    iter_streaming_batches,
+    materialise_scenario,
+    replay_repro,
+    repository_fingerprint,
+    resolve_profile,
+    run_streaming_scenario,
+    write_scenario_repository,
+)
+from repro.datasets.sqlgen.materialise import STREAM_TABLE, materialise_tables
+from repro.datasets.synthetic import RelationalDatasetBuilder
+from repro.discovery.discovery import JoinDiscovery
+from repro.evaluation import format_sweep, sweep_rows
+from repro.observability import MetricsRegistry
+from repro.relational.persist import table_fingerprint
+
+
+def make_sweep(**overrides) -> ScenarioSweep:
+    """A sweep with a private metrics registry (keeps the global one clean)."""
+    defaults = dict(n_scenarios=2, seed=0, layout="memory")
+    defaults.update(overrides)
+    return ScenarioSweep(SweepConfig(**defaults), registry=MetricsRegistry())
+
+
+# -- spec round-trip -----------------------------------------------------------
+
+
+class TestSpecRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        spec = generate_scenario(11, 2)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert ScenarioSpec.from_doc(spec.to_doc()).fingerprint() == spec.fingerprint()
+
+    def test_from_doc_rejects_unknown_format(self):
+        doc = generate_scenario(0, 0).to_doc()
+        doc["format"] = "something-else"
+        with pytest.raises(ValueError, match="format"):
+            ScenarioSpec.from_doc(doc)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            ColumnSpec(name="x", kind="blob")
+        with pytest.raises(ValueError, match="role"):
+            TableSpec(name="t", role="phantom", key_column="k", n_keys=5)
+        with pytest.raises(ValueError, match="key_overlap"):
+            TableSpec(name="t", role="decoy", key_column="k", n_keys=5, key_overlap=1.5)
+        with pytest.raises(ValueError, match="task"):
+            TargetSpec(task="ranking", noise_level=0.1)
+        with pytest.raises(ValueError, match="n_classes"):
+            TargetSpec(task="classification", noise_level=0.1, n_classes=1)
+        with pytest.raises(ValueError, match="profile"):
+            resolve_profile("enormous")
+
+
+# -- seeded repeatability ------------------------------------------------------
+
+
+class TestSeededRepeatability:
+    def test_same_seed_same_spec_bytes(self):
+        for seed in (0, 1, 7):
+            first = generate_scenario(seed, 0)
+            second = generate_scenario(seed, 0)
+            assert first == second
+            assert first.to_json() == second.to_json()
+            assert first.fingerprint() == second.fingerprint()
+
+    def test_different_seeds_distinct_schemas(self):
+        specs = [generate_scenario(seed, 0) for seed in range(8)]
+        assert len({s.fingerprint() for s in specs}) == len(specs)
+        # the schemas themselves differ, not just embedded seeds
+        shapes = {
+            (s.n_base_rows, tuple(t.name for t in s.tables), s.target.task)
+            for s in specs
+        }
+        assert len(shapes) > 1
+
+    def test_different_indices_distinct(self):
+        fingerprints = {generate_scenario(0, i).fingerprint() for i in range(6)}
+        assert len(fingerprints) == 6
+
+    def test_materialisation_repeatable(self):
+        spec = generate_scenario(4, 0)
+        base_a, tables_a = materialise_tables(spec)
+        base_b, tables_b = materialise_tables(spec)
+        assert table_fingerprint(base_a) == table_fingerprint(base_b)
+        for left, right in zip(tables_a, tables_b):
+            assert table_fingerprint(left) == table_fingerprint(right)
+
+    def test_repository_fingerprint_layout_invariant(self, tmp_path):
+        spec = generate_scenario(2, 0)
+        _, mono = write_scenario_repository(spec, tmp_path / "mono", chunk_rows=0)
+        _, chunked = write_scenario_repository(spec, tmp_path / "chunked", chunk_rows=32)
+        memory = materialise_scenario(spec).repository
+        assert (
+            repository_fingerprint(mono)
+            == repository_fingerprint(chunked)
+            == repository_fingerprint(memory)
+        )
+
+    def test_sweep_scores_byte_identical_across_fresh_processes(self):
+        """Two fresh interpreters produce the same deterministic sweep JSON."""
+        program = (
+            "from repro.core.config import SweepConfig\n"
+            "from repro.datasets.sqlgen import ScenarioSweep\n"
+            "from repro.observability import MetricsRegistry\n"
+            "config = SweepConfig(n_scenarios=2, seed=0, layout='memory')\n"
+            "result = ScenarioSweep(config, registry=MetricsRegistry()).run()\n"
+            "print(result.deterministic_json())\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        outputs = []
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=300,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout.strip())
+        assert outputs[0] == outputs[1]
+        doc = json.loads(outputs[0])
+        assert [s["failures"] for s in doc["scores"]] == [[], []]
+
+
+# -- metamorphic sweep properties ----------------------------------------------
+
+
+class TestMetamorphicSweep:
+    @pytest.fixture(scope="class")
+    def memory_result(self):
+        return make_sweep(n_scenarios=3).run()
+
+    def test_planted_joins_outrank_decoys_at_recall_floor(self, memory_result):
+        assert memory_result.passed
+        for score in memory_result.scores:
+            assert score.discovery_recall >= 0.9
+            assert score.ranking_ok
+            assert score.discovery_precision == 1.0
+
+    def test_uplift_and_selection_find_the_plant(self, memory_result):
+        # the target is a function of planted features, so augmentation
+        # must beat the no-augmentation baseline on average
+        assert memory_result.mean_uplift > 0.0
+        assert memory_result.mean_selection_recall > 0.5
+
+    def test_layout_invariance(self, memory_result, tmp_path):
+        """Monolithic and chunked disk layouts reproduce the memory scores."""
+        reference = memory_result.deterministic_doc()
+        for layout in ("monolithic", "chunked"):
+            result = make_sweep(n_scenarios=3, layout=layout, chunk_rows=48).run(
+                work_dir=tmp_path / layout
+            )
+            doc = result.deterministic_doc()
+            assert doc["scores"] == reference["scores"], layout
+
+    def test_executor_invariance(self, memory_result):
+        reference = memory_result.deterministic_doc()["scores"][:1]
+        for executor in ("thread", "process"):
+            result = make_sweep(n_scenarios=1, executor=executor, n_jobs=2).run()
+            assert result.deterministic_doc()["scores"] == reference, executor
+
+    def test_rechunk_invariance(self, tmp_path):
+        """Rewriting the stored row groups must not move a single candidate."""
+        spec = generate_scenario(1, 0)
+        base, repository = write_scenario_repository(spec, tmp_path, chunk_rows=0)
+        before = [
+            (c.foreign_table, c.key_pairs(), round(c.score, 12))
+            for c in JoinDiscovery().discover(base, repository, target="target")
+        ]
+        fingerprint = repository_fingerprint(repository)
+        for name in repository.table_names:
+            repository.rechunk(name, chunk_rows=32)
+        assert repository_fingerprint(repository) == fingerprint
+        after = [
+            (c.foreign_table, c.key_pairs(), round(c.score, 12))
+            for c in JoinDiscovery().discover(base, repository, target="target")
+        ]
+        assert after == before
+
+
+# -- failing scenarios: repro files and standalone replay ----------------------
+
+
+def hostile_profile() -> SamplerProfile:
+    """A profile whose decoys overlap the base domain almost completely,
+    guaranteeing a deterministic planted-vs-decoy ranking violation."""
+    return dataclasses.replace(
+        QUICK_PROFILE,
+        name="hostile",
+        decoy_overlap=(0.92, 0.98),
+        fan_out_choices=(3,),
+        n_decoys=(2, 3),
+    )
+
+
+class TestReproFiles:
+    def test_failing_sweep_writes_repro_files(self, tmp_path):
+        repro_dir = tmp_path / "failures"
+        sweep = ScenarioSweep(
+            SweepConfig(
+                n_scenarios=2,
+                seed=0,
+                profile=hostile_profile(),
+                layout="memory",
+                repro_dir=str(repro_dir),
+            ),
+            registry=MetricsRegistry(),
+        )
+        result = sweep.run()
+        assert result.n_failed > 0
+        assert len(result.repro_files) == result.n_failed
+        for path in result.repro_files:
+            doc = json.loads(Path(path).read_text())
+            assert doc["format"] == "arda-sweep-repro-v1"
+            assert doc["failures"]
+            assert ScenarioSpec.from_doc(doc["spec"]).fingerprint() == doc["score"][
+                "spec_fingerprint"
+            ]
+
+    def test_replay_reproduces_the_exact_failure(self, tmp_path):
+        sweep = ScenarioSweep(
+            SweepConfig(
+                n_scenarios=1,
+                seed=0,
+                profile=hostile_profile(),
+                layout="memory",
+                repro_dir=str(tmp_path),
+            ),
+            registry=MetricsRegistry(),
+        )
+        result = sweep.run()
+        assert result.repro_files
+        original = result.scores[0]
+        replayed = replay_repro(result.repro_files[0])
+        assert not replayed.passed
+        assert replayed.to_doc() == original.to_doc()
+
+    def test_replay_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "unrelated"}))
+        with pytest.raises(ValueError, match="repro file"):
+            replay_repro(path)
+
+    def test_doctored_spec_fails_discovery_recall(self):
+        """A join edge the engine cannot possibly emit must fail the floor."""
+        spec = generate_scenario(3, 0)
+        edge = spec.joins[0]
+        broken = dataclasses.replace(
+            spec,
+            joins=(dataclasses.replace(edge, foreign_column="no_such_column"),)
+            + spec.joins[1:],
+        )
+        score = make_sweep(n_scenarios=1).run_scenario(broken)
+        assert score.discovery_recall < 1.0
+        assert any("below floor" in failure for failure in score.failures)
+
+
+# -- reporting -----------------------------------------------------------------
+
+
+class TestSweepReporting:
+    def test_sweep_rows_and_table(self):
+        score = make_sweep(n_scenarios=1).run_scenario(generate_scenario(0, 0))
+        rows = sweep_rows([score])
+        assert rows[0]["scenario"] == score.scenario_id
+        assert rows[0]["status"] == "pass"
+        assert rows[0]["ranking"] == "ok"
+        rendered = format_sweep([score])
+        assert score.scenario_id in rendered
+        assert "disc_recall" in rendered
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+class TestSweepCLI:
+    def test_sweep_json_output(self, tmp_path, capsys):
+        rc = cli_main(
+            [
+                "sweep",
+                "--n-scenarios",
+                "1",
+                "--seed",
+                "0",
+                "--layout",
+                "memory",
+                "--json",
+                "--repro-dir",
+                str(tmp_path / "failures"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out)
+        assert doc["summary"]["scenarios"] == 1
+        assert doc["summary"]["failed"] == 0
+        assert doc["scores"][0]["discovery_recall"] >= 0.9
+
+    def test_sweep_replay_of_failing_scenario_exits_nonzero(self, tmp_path, capsys):
+        sweep = ScenarioSweep(
+            SweepConfig(
+                n_scenarios=1,
+                seed=0,
+                profile=hostile_profile(),
+                layout="memory",
+                repro_dir=str(tmp_path),
+            ),
+            registry=MetricsRegistry(),
+        )
+        result = sweep.run()
+        assert result.repro_files
+        rc = cli_main(["sweep", "--replay", result.repro_files[0]])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL" in out
+
+
+# -- RNG audit: explicit seeds everywhere --------------------------------------
+
+
+class TestExplicitSeeding:
+    @staticmethod
+    def _build(seed):
+        return RelationalDatasetBuilder(
+            "rng-audit", n_rows=120, n_entities=40, seed=seed
+        ).build()
+
+    def test_builder_accepts_generator_seed(self):
+        from_int = self._build(123)
+        from_generator = self._build(np.random.default_rng(123))
+        assert table_fingerprint(from_int.base_table) == table_fingerprint(
+            from_generator.base_table
+        )
+        for name in from_int.repository.table_names:
+            assert table_fingerprint(from_int.repository.get(name)) == table_fingerprint(
+                from_generator.repository.get(name)
+            )
+
+    def test_generators_ignore_global_numpy_state(self):
+        """Reseeding the legacy global RNG must not move any generator output."""
+        np.random.seed(1)
+        first = self._build(7)
+        spec_first = generate_scenario(7, 0)
+        np.random.seed(99)
+        second = self._build(7)
+        spec_second = generate_scenario(7, 0)
+        assert table_fingerprint(first.base_table) == table_fingerprint(second.base_table)
+        assert spec_first.to_json() == spec_second.to_json()
+
+
+# -- streaming ingest under a live server --------------------------------------
+
+
+class TestStreamingScenario:
+    def test_predictions_pinned_across_ingest_generations(self, tmp_path):
+        score = run_streaming_scenario(
+            tmp_path, seed=0, n_batches=2, batch_rows=12, probe_rows=6,
+            registry=MetricsRegistry(),
+        )
+        assert score.passed
+        assert score.generations == [0, 1, 2]
+        assert score.reloads == 2
+        assert score.n_requests == 3
+        assert score.n_failed_requests == 0
+        assert score.stream_rows == 24
+        assert len(score.predictions) == 6
+
+    def test_streaming_batches_are_append_only_and_deterministic(self):
+        spec = generate_scenario(0, 0)
+        batches_a = list(iter_streaming_batches(spec, 3, 8))
+        batches_b = list(iter_streaming_batches(spec, 3, 8))
+        for left, right in zip(batches_a, batches_b):
+            assert table_fingerprint(left) == table_fingerprint(right)
+        for prev, grown in zip(batches_a, batches_a[1:]):
+            assert grown.num_rows == prev.num_rows + 8
+            for column in prev.column_names:
+                assert np.array_equal(
+                    np.asarray(grown.column(column).values)[: prev.num_rows],
+                    np.asarray(prev.column(column).values),
+                )
+
+    @pytest.mark.stress
+    def test_ingest_under_sustained_load_zero_failures(self, tmp_path):
+        """Micro-batch ingests while concurrent clients hammer /predict:
+        every response must carry the pinned predictions, zero failures."""
+        from repro.core.arda import ARDA
+        from repro.datasets.sqlgen.materialise import planted_candidates
+        from repro.serving.pipeline import FittedPipeline
+        from repro.serving.server import PredictionServer
+
+        n_batches = max(4, int(os.environ.get("ARDA_STRESS", "0") or 0) // 100)
+        spec = generate_scenario(0, 0, "quick")
+        lake = tmp_path / "lake"
+        base, repository = write_scenario_repository(spec, lake, chunk_rows=0)
+        report = ARDA(
+            ARDAConfig(capture_pipeline=True, persist_profiles=False)
+        ).augment_tables(
+            base_table=base,
+            repository=repository,
+            target="target",
+            candidates=planted_candidates(spec),
+            task=spec.target.task,
+            dataset_name=spec.scenario_id,
+        )
+        artifact = tmp_path / "stream.pipeline"
+        report.pipeline.save(artifact)
+        offline = FittedPipeline.load(artifact, repository=repository)
+        expected = np.asarray(offline.predict(base.head(4)), dtype=np.float64)
+        offline.release()
+
+        payload = json.dumps([base.row(i) for i in range(4)]).encode()
+        config = ServingConfig(port=0, workers=3, reload_interval_s=0.02)
+        server = PredictionServer(
+            artifact, repository=str(lake), config=config, registry=MetricsRegistry()
+        ).start()
+        failures: list[str] = []
+        generations: set[int] = set()
+        stop = threading.Event()
+        lock = threading.Lock()
+        try:
+            host, port = server.address
+
+            def hammer():
+                while not stop.is_set():
+                    request = urllib.request.Request(
+                        f"http://{host}:{port}/predict",
+                        data=payload,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    try:
+                        with urllib.request.urlopen(request, timeout=30) as response:
+                            doc = json.loads(response.read())
+                        served = np.asarray(doc["predictions"], dtype=np.float64)
+                        if not np.array_equal(served, expected):
+                            raise AssertionError("prediction drift during ingest")
+                        with lock:
+                            generations.add(doc["generation"])
+                    except Exception as exc:  # noqa: BLE001 - recorded, not raised
+                        with lock:
+                            failures.append(repr(exc))
+                        stop.set()
+
+            clients = [threading.Thread(target=hammer) for _ in range(4)]
+            for client in clients:
+                client.start()
+            for batch in iter_streaming_batches(spec, n_batches, 16):
+                if STREAM_TABLE in repository.table_names:
+                    repository.replace(batch)
+                else:
+                    repository.add(batch)
+                deadline = time.monotonic() + 10
+                while server.generation < repository.generation and (
+                    time.monotonic() < deadline
+                ):
+                    time.sleep(0.01)
+                time.sleep(0.05)
+            stop.set()
+            for client in clients:
+                client.join()
+            final_generation = server.generation
+        finally:
+            server.close()
+        assert failures == []
+        assert final_generation == n_batches
+        assert max(generations) == n_batches

@@ -8,10 +8,11 @@ must pass:
    ``benchmarks/README.md`` resolves: relative file targets exist, internal
    ``#anchors`` (GitHub heading slugs) exist in the target file.  External
    ``http(s)`` links are skipped (no network in CI).
-2. **API coverage** — every name exported from the six subsystem
+2. **API coverage** — every name exported from the subsystem
    ``__init__.py`` files (``relational``, ``discovery``, ``core``, ``ml``,
-   ``selection``, ``serving``) appears in ``docs/API.md`` as a backticked
-   code token, so the reference cannot silently fall behind the code.
+   ``selection``, ``serving``, ``observability``, ``datasets`` and
+   ``datasets.sqlgen``) appears in ``docs/API.md`` as a backticked code
+   token, so the reference cannot silently fall behind the code.
 3. **README snippets** — every fenced ```` ```python ```` block in
    ``README.md`` is executed verbatim, in order, in one shared namespace
    inside a temporary working directory.  The quickstart cannot rot.
@@ -37,6 +38,8 @@ SUBSYSTEMS = [
     "repro.selection",
     "repro.serving",
     "repro.observability",
+    "repro.datasets",
+    "repro.datasets.sqlgen",
 ]
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
